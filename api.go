@@ -1,0 +1,171 @@
+// Package fanstore is the public API of this FanStore reproduction: a
+// distributed, compressed, POSIX-style object store for deep-learning
+// training data, after "Efficient I/O for Neural Network Training with
+// Compressed Data" (IPPS 2020).
+//
+// The typical flow mirrors the paper's workflow:
+//
+//  1. Prepare: pack a dataset into compressed partitions once
+//     (Pack / the fanstore-prep command).
+//  2. Launch: start one rank per node (Run) and Mount each rank's
+//     partitions; metadata is exchanged collectively so every rank sees
+//     the whole namespace from RAM.
+//  3. Train: read files through the POSIX-style surface (Open/Read/
+//     Stat/ReadDir); writes (checkpoints, logs) go through Create.
+//  4. Choose a compressor with SelectCompressor, which applies the
+//     paper's Eq. 1-3 selection algorithm to measured candidates.
+//
+// Implementation packages live under internal/: codec (the compressor
+// suite), pack (the partition format), mpi (the SPMD runtime), fanstore
+// (the store itself), selector, dataset, tfrecord, fsim/simnet/cluster/
+// trainsim (the evaluation substrates), and experiments (the harness
+// regenerating every table and figure).
+package fanstore
+
+import (
+	"time"
+
+	"fanstore/internal/codec"
+	store "fanstore/internal/fanstore"
+	"fanstore/internal/mpi"
+	"fanstore/internal/pack"
+	"fanstore/internal/selector"
+)
+
+// Core store types.
+type (
+	// Node is one rank's FanStore instance: local compressed objects,
+	// the global metadata table, the decompression cache, and the
+	// daemon serving peers.
+	Node = store.Node
+	// File is an open FanStore file descriptor.
+	File = store.File
+	// Options configures Mount (cache size/policy, replica partitions).
+	Options = store.Options
+	// Info is the stat() result.
+	Info = store.Info
+	// DirEntry is one readdir() result.
+	DirEntry = store.DirEntry
+	// Stats counts data-path events.
+	Stats = store.Stats
+	// Metrics carries open/fetch latency histogram snapshots.
+	Metrics = store.Metrics
+	// Policy selects the cache replacement strategy.
+	Policy = store.Policy
+)
+
+// Cache policies (§IV-C3; FIFO is the paper's choice).
+const (
+	FIFO      = store.FIFO
+	LRU       = store.LRU
+	Immediate = store.Immediate
+)
+
+// Runtime types.
+type (
+	// Comm is one rank's communicator (Send/Recv/Allgather/Barrier).
+	Comm = mpi.Comm
+	// InputFile is one source file handed to Pack.
+	InputFile = pack.InputFile
+	// BuildOptions configures Pack.
+	BuildOptions = pack.BuildOptions
+	// Bundle is Pack's output: scatter partitions plus a broadcast
+	// partition.
+	Bundle = pack.Bundle
+)
+
+// Selection types (§VI-B).
+type (
+	// AppProfile carries the application inputs of Table V.
+	AppProfile = selector.AppProfile
+	// IOPerf is measured FanStore read performance (Table VI).
+	IOPerf = selector.IOPerf
+	// Candidate is one compressor's measured cost and ratio.
+	Candidate = selector.Candidate
+	// Choice is a per-candidate selection verdict.
+	Choice = selector.Choice
+)
+
+// I/O modes for AppProfile.
+const (
+	SyncIO  = selector.Sync
+	AsyncIO = selector.Async
+)
+
+// Run starts n FanStore ranks in-process, invoking f with each rank's
+// communicator, and returns the first error. It is the substitution for
+// an mpiexec launch (§V-D).
+func Run(n int, f func(*Comm) error) error { return mpi.Run(n, f) }
+
+// RunTCP is Run with messages carried over real loopback TCP sockets,
+// exercising serialization and the kernel network stack.
+func RunTCP(n int, f func(*Comm) error) error { return mpi.RunTCP(n, f) }
+
+// JoinTCP joins a world of separate OS processes through a rendezvous
+// directory — the paper's mpiexec deployment shape. Each process calls it
+// with its own rank; the returned leave function releases the transport.
+// cmd/fanstore-daemon is the ready-made per-node process built on it.
+func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), error) {
+	return mpi.JoinTCP(dir, rank, size, timeout)
+}
+
+// Mount loads this rank's partitions, builds the global metadata view
+// collectively, and starts the FanStore daemon. Every rank must call it.
+func Mount(c *Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node, error) {
+	return store.Mount(c, partitions, broadcast, opts)
+}
+
+// RingReplicate passes each rank's partitions to its ring neighbor and
+// returns the predecessor's, for placing extra replicas without touching
+// the shared filesystem (§V-D).
+func RingReplicate(c *Comm, partitions [][]byte) ([][]byte, error) {
+	return store.RingReplicate(c, partitions)
+}
+
+// Pack runs the data preparation tool (§V-B): it compresses every input
+// file and serializes the partitioned compressed representation.
+func Pack(files []InputFile, opts BuildOptions) (*Bundle, error) {
+	return pack.Build(files, opts)
+}
+
+// Placement assigns partitions to nodes (§IV-C1).
+type Placement = store.Placement
+
+// PlanPlacement decides which partitions each node loads, filling spare
+// capacity with ring-neighbor replicas (§IV-C1, §V-D).
+func PlanPlacement(partSizes []int64, nodes int, capacity int64) (*Placement, error) {
+	return store.PlanPlacement(partSizes, nodes, capacity)
+}
+
+// SelectCompressor applies the §VI-B selection algorithm: among measured
+// candidates, the one with the highest compression ratio whose
+// decompression fits the Eq. 1/2 budget. ok is false when none does.
+func SelectCompressor(app AppProfile, perf IOPerf, cands []Candidate) (Choice, bool) {
+	return selector.Select(app, perf, cands)
+}
+
+// MeasureCandidate profiles one codec configuration (by registry name or
+// paper alias such as "lzsse8" or "lzma") on sample files.
+func MeasureCandidate(name string, samples [][]byte) (Candidate, error) {
+	return selector.MeasureCandidate(name, samples)
+}
+
+// Compressors returns the names of every registered codec configuration
+// (the 192-configuration sweep space of §VII-D).
+func Compressors() []string {
+	cfgs := codec.Registry()
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Errors re-exported from the store.
+var (
+	ErrNotExist = store.ErrNotExist
+	ErrExist    = store.ErrExist
+	ErrIsDir    = store.ErrIsDir
+	ErrNotDir   = store.ErrNotDir
+	ErrClosed   = store.ErrClosed
+)

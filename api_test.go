@@ -1,0 +1,114 @@
+package fanstore_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"fanstore"
+	"fanstore/internal/dataset"
+)
+
+// TestPublicAPIEndToEnd drives the whole documented workflow through the
+// facade: pack, mount across ranks, POSIX surface, selection, writes.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := dataset.Generator{Kind: dataset.Lung, Seed: 13, Size: 8 << 10}
+	var inputs []fanstore.InputFile
+	want := map[string][]byte{}
+	for _, f := range g.Files(12) {
+		inputs = append(inputs, fanstore.InputFile{Path: f.Path, Data: f.Data})
+		want[f.Path] = f.Data
+	}
+	bundle, err := fanstore.Pack(inputs, fanstore.BuildOptions{Partitions: 3, Compressor: "lzma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Ratio() < 3 {
+		t.Fatalf("CT data should compress hard, got %.2f", bundle.Ratio())
+	}
+
+	err = fanstore.Run(3, func(c *fanstore.Comm) error {
+		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, fanstore.Options{
+			CachePolicy: fanstore.FIFO,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		for path, data := range want {
+			info, err := node.Stat(path)
+			if err != nil || info.Size != int64(len(data)) {
+				return fmt.Errorf("stat %s: %+v %v", path, info, err)
+			}
+			got, err := node.ReadFile(path)
+			if err != nil || !bytes.Equal(got, data) {
+				return fmt.Errorf("read %s: %v", path, err)
+			}
+		}
+		if _, err := node.Open("missing"); !errors.Is(err, fanstore.ErrNotExist) {
+			return fmt.Errorf("want ErrNotExist, got %v", err)
+		}
+		return node.WriteFile(fmt.Sprintf("out/r%d.txt", c.Rank()), []byte("ok"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISelection(t *testing.T) {
+	app := fanstore.AppProfile{
+		Name: "toy", IO: fanstore.SyncIO,
+		TIter: time.Second, CBatch: 64, SBatchMB: 64, Parallelism: 4,
+	}
+	perf := fanstore.IOPerf{TptRead: 5000, BdwRead: 3000}
+	g := dataset.Generator{Kind: dataset.Lung, Seed: 2, Size: 32 << 10}
+	cand, err := fanstore.MeasureCandidate("lzsse8", [][]byte{g.Bytes(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Ratio < 2 {
+		t.Fatalf("lzsse8 on CT data: ratio %.2f", cand.Ratio)
+	}
+	if _, err := fanstore.MeasureCandidate("not-a-codec", nil); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	// The choice itself is host-speed dependent; the API contract is that
+	// a returned choice is one of the inputs and marked feasible.
+	if best, ok := fanstore.SelectCompressor(app, perf, []fanstore.Candidate{cand}); ok {
+		if best.Name != "lzsse8" || !best.Feasible {
+			t.Fatalf("unexpected choice %+v", best)
+		}
+	}
+}
+
+func TestPublicAPICompressors(t *testing.T) {
+	names := fanstore.Compressors()
+	if len(names) < 180 {
+		t.Fatalf("registry lists %d configurations, want >= 180", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate configuration %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPublicAPIRunTCP(t *testing.T) {
+	err := fanstore.RunTCP(2, func(c *fanstore.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []byte("over sockets"))
+		}
+		data, _, err := c.Recv(0, 1)
+		if err != nil || string(data) != "over sockets" {
+			return fmt.Errorf("got %q, %v", data, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"fanstore/internal/dataset"
+)
+
+func TestKindByName(t *testing.T) {
+	for in, want := range map[string]dataset.Kind{
+		"EM": dataset.EM, "RS": dataset.Tokamak, "language": dataset.Language,
+	} {
+		got, ok := kindByName(in)
+		if !ok || got != want {
+			t.Errorf("kindByName(%q) = %v, %v", in, got, ok)
+		}
+	}
+	if _, ok := kindByName("bogus"); ok {
+		t.Error("unknown dataset accepted")
+	}
+}

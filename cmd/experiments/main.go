@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§VII) from this reproduction. Each experiment prints a block
+// comparing paper-reported values with values measured/modeled here.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run all [-quick] [-seed N]
+//	experiments -run table3,fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fanstore/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick = flag.Bool("quick", false, "smaller samples and sweeps")
+		seed  = flag.Int64("seed", 42, "dataset generation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		fmt.Printf("==============================================================\n")
+		fmt.Printf("%s — %s\n", strings.ToUpper(e.ID), e.Title)
+		fmt.Printf("==============================================================\n")
+		start := time.Now()
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,112 @@
+// Command fanstore-bench measures FanStore read performance (the live
+// counterpart of Tables III and VI): it packs a synthetic dataset, mounts
+// it across in-process ranks, and times whole-file reads through the
+// POSIX-style interface — locally and across the simulated interconnect.
+//
+//	fanstore-bench -ranks 4 -files 64 -size 524288 -compressor lzsse8
+//
+// With -model it instead prints the Table III device-model rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"text/tabwriter"
+
+	"fanstore/internal/dataset"
+	"fanstore/internal/fanstore"
+	"fanstore/internal/iobench"
+	"fanstore/internal/mpi"
+	"fanstore/internal/pack"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fanstore-bench: ")
+	var (
+		ranks      = flag.Int("ranks", 4, "in-process FanStore ranks")
+		files      = flag.Int("files", 64, "dataset file count")
+		size       = flag.Int("size", 512<<10, "file size in bytes")
+		compressor = flag.String("compressor", "memcpy", "codec configuration or alias")
+		rounds     = flag.Int("rounds", 3, "read passes over the dataset")
+		policy     = flag.String("cache", "fifo", "cache policy: fifo|lru|immediate")
+		model      = flag.Bool("model", false, "print Table III device-model rows instead")
+		hist       = flag.Bool("hist", false, "print rank 0's latency histograms")
+	)
+	flag.Parse()
+
+	if *model {
+		w := tabwriter.NewWriter(log.Writer(), 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "solution\tfile_size\tfiles/s\n")
+		for _, r := range iobench.Table3(iobench.Table3Sizes) {
+			fmt.Fprintf(w, "%s\t%d\t%.0f\n", r.Solution, r.FileSize, r.FilesPerSec)
+		}
+		w.Flush()
+		return
+	}
+
+	var pol fanstore.Policy
+	switch *policy {
+	case "fifo":
+		pol = fanstore.FIFO
+	case "lru":
+		pol = fanstore.LRU
+	case "immediate":
+		pol = fanstore.Immediate
+	default:
+		log.Fatalf("unknown cache policy %q", *policy)
+	}
+
+	g := dataset.Generator{Kind: dataset.ImageNet, Seed: 7, Size: *size}
+	inputs := make([]pack.InputFile, *files)
+	paths := make([]string, *files)
+	for i := range inputs {
+		f := g.File(i, *files)
+		inputs[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+		paths[i] = f.Path
+	}
+	bundle, err := pack.Build(inputs, pack.BuildOptions{Partitions: *ranks, Compressor: *compressor})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := make([]iobench.Result, *ranks)
+	err = mpi.Run(*ranks, func(c *mpi.Comm) error {
+		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, fanstore.Options{CachePolicy: pol})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		res, err := iobench.MeasureNode(node, paths, *rounds)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 && *hist {
+			m := node.Metrics()
+			fmt.Printf("rank 0 open() latency: %s\n%s", m.Open, m.Open.Bars(40))
+			if m.Fetch.Count > 0 {
+				fmt.Printf("rank 0 remote fetch latency: %s\n%s", m.Fetch, m.Fetch.Bars(40))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var totFiles float64
+	var totMB float64
+	for r, res := range results {
+		fmt.Printf("rank %d: %.0f files/s, %.0f MB/s (%d files in %v)\n",
+			r, res.FilesPerSec, res.MBPerSec, res.Files, res.Elapsed)
+		totFiles += res.FilesPerSec
+		totMB += res.MBPerSec
+	}
+	fmt.Printf("aggregate: %.0f files/s, %.0f MB/s across %d ranks (compressor %s, cache %s)\n",
+		totFiles, totMB, *ranks, *compressor, *policy)
+}

@@ -1,0 +1,134 @@
+// Command fanstore-daemon runs ONE rank of a multi-process FanStore
+// deployment — the paper's mpiexec shape (§V-D), with a rendezvous
+// directory standing in for the process manager. Start one per "node",
+// all pointing at the same rendezvous directory and partition files from
+// fanstore-prep:
+//
+//	fanstore-prep -synthetic EM -files 32 -partitions 4 -out packed
+//	for r in 0 1 2 3; do
+//	  fanstore-daemon -rendezvous /tmp/fst -rank $r -size 4 \
+//	                  -part packed/part-000$r.fst -reads 64 &
+//	done; wait
+//
+// Each daemon mounts its partition, joins the collective metadata
+// exchange, serves its objects to peers, reads -reads random files from
+// the global namespace (fetching remote ones over TCP), reports stats,
+// and shuts down collectively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"fanstore"
+	"fanstore/internal/mpi"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		rendezvous = flag.String("rendezvous", "", "shared rendezvous directory (required)")
+		rank       = flag.Int("rank", -1, "this process's rank")
+		size       = flag.Int("size", 0, "world size")
+		parts      = flag.String("part", "", "comma-separated partition files this rank owns")
+		broadcast  = flag.String("broadcast", "", "broadcast partition file (optional)")
+		reads      = flag.Int("reads", 32, "random whole-file reads to perform")
+		timeout    = flag.Duration("timeout", 30*time.Second, "rendezvous timeout")
+		spill      = flag.String("spill", "", "local-disk backend directory (optional)")
+		seed       = flag.Int64("seed", 0, "read-order seed (default: rank)")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
+
+	if *rendezvous == "" || *rank < 0 || *size <= 0 || *parts == "" {
+		log.Fatal("-rendezvous, -rank, -size and -part are required")
+	}
+
+	var own [][]byte
+	for _, p := range strings.Split(*parts, ",") {
+		blob, err := os.ReadFile(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		own = append(own, blob)
+	}
+	var bcast []byte
+	if *broadcast != "" {
+		var err error
+		if bcast, err = os.ReadFile(*broadcast); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	comm, leave, err := mpi.JoinTCP(*rendezvous, *rank, *size, *timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer leave()
+
+	opts := fanstore.Options{SpillDir: *spill}
+	node, err := fanstore.Mount(comm, own, bcast, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mounted: %d files global, %d local", node.NumFiles(), node.LocalFiles())
+
+	// Enumerate the namespace, then read random files — local or remote.
+	var paths []string
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := node.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			child := e.Name
+			if dir != "" {
+				child = dir + "/" + e.Name
+			}
+			if e.IsDir {
+				if err := walk(child); err != nil {
+					return err
+				}
+			} else {
+				paths = append(paths, child)
+			}
+		}
+		return nil
+	}
+	if err := walk(""); err != nil {
+		log.Fatal(err)
+	}
+	s := *seed
+	if s == 0 {
+		s = int64(*rank + 1)
+	}
+	rng := rand.New(rand.NewSource(s))
+	start := time.Now()
+	var byteCount int64
+	for i := 0; i < *reads; i++ {
+		data, err := node.ReadFile(paths[rng.Intn(len(paths))])
+		if err != nil {
+			log.Fatal(err)
+		}
+		byteCount += int64(len(data))
+	}
+	elapsed := time.Since(start)
+	st := node.Stats()
+	log.Printf("read %d files (%d bytes) in %v: %d local, %d remote, %d decompressions",
+		*reads, byteCount, elapsed.Round(time.Millisecond),
+		st.LocalOpens, st.RemoteOpens, st.Decompresses)
+	m := node.Metrics()
+	log.Printf("open latency: %s", m.Open)
+
+	// Collective shutdown: no rank exits while peers may still fetch.
+	if err := node.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done")
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestDaemonEndToEnd builds the daemon and runs a real 3-process
+// deployment against partitions produced by the pack layer — the full
+// §V-D shape with nothing shared but the filesystem and TCP.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches subprocesses")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fanstore-daemon")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Pack a dataset with the prep tool's library path.
+	packed := filepath.Join(dir, "packed")
+	prep := exec.Command("go", "run", "../fanstore-prep",
+		"-synthetic", "EM", "-files", "12", "-partitions", "3",
+		"-size", "16384", "-out", packed)
+	if out, err := prep.CombinedOutput(); err != nil {
+		t.Fatalf("prep: %v\n%s", err, out)
+	}
+
+	rdv := filepath.Join(dir, "rdv")
+	const size = 3
+	cmds := make([]*exec.Cmd, size)
+	outs := make([]bytes.Buffer, size)
+	for r := 0; r < size; r++ {
+		cmds[r] = exec.Command(bin,
+			"-rendezvous", rdv,
+			"-rank", strconv.Itoa(r),
+			"-size", strconv.Itoa(size),
+			"-part", filepath.Join(packed, "part-000"+strconv.Itoa(r)+".fst"),
+			"-reads", "16",
+		)
+		cmds[r].Stdout = &outs[r]
+		cmds[r].Stderr = &outs[r]
+		if err := cmds[r].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		if err := cmds[r].Wait(); err != nil {
+			t.Fatalf("rank %d: %v\n%s", r, err, outs[r].String())
+		}
+		out := outs[r].String()
+		if !bytes.Contains([]byte(out), []byte("mounted: 12 files global")) {
+			t.Fatalf("rank %d missing global namespace:\n%s", r, out)
+		}
+		if !bytes.Contains([]byte(out), []byte("done")) {
+			t.Fatalf("rank %d did not shut down cleanly:\n%s", r, out)
+		}
+		if !bytes.Contains([]byte(out), []byte("remote")) {
+			t.Fatalf("rank %d reported no remote activity:\n%s", r, out)
+		}
+	}
+	_ = os.RemoveAll(rdv)
+}

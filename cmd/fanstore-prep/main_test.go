@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "a.txt"), []byte("alpha"), 0o644)
+	os.WriteFile(filepath.Join(dir, "sub", "b.txt"), []byte("beta"), 0o644)
+	files, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("loaded %d files", len(files))
+	}
+	byPath := map[string]string{}
+	for _, f := range files {
+		byPath[f.Path] = string(f.Data)
+	}
+	if byPath["a.txt"] != "alpha" || byPath["sub/b.txt"] != "beta" {
+		t.Fatalf("bad contents: %+v", byPath)
+	}
+	if _, err := loadDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := loadDir("/does/not/exist"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	for _, name := range []string{"EM", "tokamak", "Lung", "astro", "imagenet", "text", "tif", "npz"} {
+		files, err := generate(name, 1, 3, 1024)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(files) != 3 || len(files[0].Data) != 1024 {
+			t.Fatalf("%s: %d files of %d bytes", name, len(files), len(files[0].Data))
+		}
+	}
+	if _, err := generate("bogus", 1, 1, 10); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command fanstore-sim runs the distributed-training simulator: per-
+// compressor application performance (Fig. 8) and weak scaling including
+// the Lustre comparison (Fig. 9).
+//
+//	fanstore-sim -mode perf -case srgan-gtx
+//	fanstore-sim -mode scaling -case resnet-cpu -nodes 1,8,64,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"fanstore/internal/cluster"
+	"fanstore/internal/dataset"
+	"fanstore/internal/selector"
+	"fanstore/internal/trainsim"
+)
+
+var simCases = map[string]struct {
+	app   cluster.App
+	clust cluster.Cluster
+	kind  dataset.Kind
+	cands []string
+}{
+	"srgan-gtx":  {cluster.SRGANonGTX, cluster.GTX, dataset.EM, []string{"lzsse8", "lz4hc", "brotli", "zling", "lzma"}},
+	"frnn-cpu":   {cluster.FRNNonCPU, cluster.CPU, dataset.Tokamak, []string{"lzf", "lzsse8", "brotli"}},
+	"srgan-v100": {cluster.SRGANonV100, cluster.V100, dataset.EM, []string{"lz4fast", "lz4hc", "brotli", "lzma"}},
+	"resnet-gtx": {cluster.ResNet50, cluster.GTX, dataset.ImageNet, []string{"memcpy"}},
+	"resnet-cpu": {cluster.ResNet50, cluster.CPU, dataset.ImageNet, []string{"memcpy"}},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fanstore-sim: ")
+	var (
+		mode     = flag.String("mode", "perf", "perf (Fig. 8) | scaling (Fig. 9) | explain (iteration breakdown)")
+		caseName = flag.String("case", "srgan-gtx", "srgan-gtx|frnn-cpu|srgan-v100|resnet-gtx|resnet-cpu")
+		nodesArg = flag.String("nodes", "", "node counts for -mode scaling (default: powers of two up to the cluster)")
+		codecArg = flag.String("codec", "", "compressor for -mode scaling (default: case's first candidate)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	tc, ok := simCases[strings.ToLower(*caseName)]
+	if !ok {
+		log.Fatalf("unknown case %q", *caseName)
+	}
+
+	measure := func(name string) selector.Candidate {
+		fileSize := tc.app.FileSizeBytes()
+		sampleSize := int(fileSize)
+		if sampleSize > 256<<10 {
+			sampleSize = 256 << 10
+		}
+		n := 4
+		if tc.kind == dataset.Tokamak {
+			n = 32
+		}
+		g := dataset.Generator{Kind: tc.kind, Seed: *seed, Size: sampleSize}
+		samples := make([][]byte, n)
+		for i := range samples {
+			samples[i] = g.Bytes(i)
+		}
+		c, err := selector.MeasureCandidate(name, samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.DecompressPerFile = time.Duration(float64(c.DecompressPerFile) * float64(fileSize) / float64(sampleSize))
+		return c
+	}
+
+	switch *mode {
+	case "perf":
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "compressor\tratio\tdecompress us/file\titer time\trelative perf\n")
+		base := trainsim.Config{App: tc.app, Clust: tc.clust, Nodes: 4, Ratio: 1}
+		fmt.Fprintf(w, "baseline\t1.00\t0\t%v\t100.0%%\n", base.IterTime().Round(time.Millisecond))
+		for _, name := range tc.cands {
+			c := measure(name)
+			cfg := trainsim.Config{
+				App: tc.app, Clust: tc.clust, Nodes: 4,
+				DecompressPerFile: c.DecompressPerFile, Ratio: c.Ratio,
+			}
+			fmt.Fprintf(w, "%s\t%.2f\t%.0f\t%v\t%.1f%%\n",
+				name, c.Ratio, float64(c.DecompressPerFile)/float64(time.Microsecond),
+				cfg.IterTime().Round(time.Millisecond), cfg.RelativePerf()*100)
+		}
+		w.Flush()
+
+	case "scaling":
+		var counts []int
+		if *nodesArg != "" {
+			for _, s := range strings.Split(*nodesArg, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					log.Fatalf("bad node count %q", s)
+				}
+				counts = append(counts, n)
+			}
+		} else {
+			for n := 1; n <= tc.clust.Nodes; n *= 2 {
+				counts = append(counts, n)
+			}
+		}
+		codecName := *codecArg
+		if codecName == "" {
+			codecName = tc.cands[0]
+		}
+		c := measure(codecName)
+		cfg := trainsim.Config{
+			App: tc.app, Clust: tc.clust,
+			DecompressPerFile: c.DecompressPerFile, Ratio: c.Ratio,
+		}
+		fmt.Printf("%s on %s with %s (ratio %.2f)\n", tc.app.Name, tc.clust.Name, codecName, c.Ratio)
+		single := cfg
+		single.Nodes = 1
+		single.RemoteFrac = 0
+		t1 := single.Throughput()
+		spec := tc.kind.Spec()
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "nodes\tFanStore samples/s\teff\tLustre samples/s\teff\tLustre startup\n")
+		for _, p := range trainsim.WeakScaling(cfg, counts) {
+			lus := trainsim.LustreScalingAt(cfg, p.Nodes, spec.NumFiles, spec.NumDirs, t1)
+			fmt.Fprintf(w, "%d\t%.0f\t%.1f%%\t%.0f\t%.1f%%\t%v\n",
+				p.Nodes, p.Throughput, p.Efficiency*100,
+				lus.Point.Throughput, lus.Point.Efficiency*100, lus.Startup.Round(time.Second))
+		}
+		w.Flush()
+
+	case "explain":
+		codecName := *codecArg
+		if codecName == "" {
+			codecName = tc.cands[0]
+		}
+		cd := measure(codecName)
+		cfg := trainsim.Config{
+			App: tc.app, Clust: tc.clust, Nodes: 4,
+			DecompressPerFile: cd.DecompressPerFile, Ratio: cd.Ratio,
+			RemoteFrac: 0.75,
+		}
+		b := cfg.Explain()
+		fmt.Printf("%s on %s with %s (ratio %.2f), 4 nodes, per-iteration breakdown:\n",
+			tc.app.Name, tc.clust.Name, codecName, cd.Ratio)
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "compute\t%v\n", b.Compute)
+		fmt.Fprintf(w, "allreduce\t%v\n", b.Allreduce)
+		fmt.Fprintf(w, "read (local)\t%v\n", b.Read)
+		fmt.Fprintf(w, "remote transfer\t%v\n", b.RemoteTransfer)
+		fmt.Fprintf(w, "decompress\t%v\n", b.Decompress)
+		fmt.Fprintf(w, "iteration\t%v (%s bound)\n", b.Iter, b.Bound)
+		w.Flush()
+
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

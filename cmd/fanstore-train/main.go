@@ -1,0 +1,206 @@
+// Command fanstore-train runs a complete simulated data-parallel training
+// job over FanStore: pack a synthetic dataset, mount it across ranks,
+// train with per-epoch shuffling and an asynchronous prefetch pipeline,
+// checkpoint every epoch, and report throughput and I/O statistics.
+//
+//	fanstore-train -ranks 4 -dataset EM -files 64 -epochs 3 -compressor lzsse8
+//	fanstore-train -tcp -spill /tmp/fanstore -cache-policy immediate
+//	fanstore-train -resume   # continue from the latest checkpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"fanstore"
+	"fanstore/internal/dataset"
+	"fanstore/internal/prefetch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fanstore-train: ")
+	var (
+		ranks      = flag.Int("ranks", 4, "data-parallel ranks")
+		dsName     = flag.String("dataset", "EM", "EM|Tokamak|Lung|Astro|ImageNet|Language")
+		files      = flag.Int("files", 64, "training file count")
+		size       = flag.Int("size", 64<<10, "file size (bytes)")
+		epochs     = flag.Int("epochs", 3, "epochs to train")
+		batch      = flag.Int("batch", 8, "files per rank per iteration")
+		compressor = flag.String("compressor", "lzsse8", "codec configuration or alias")
+		workers    = flag.Int("io-threads", 4, "prefetch I/O threads per rank")
+		policy     = flag.String("cache-policy", "fifo", "fifo|lru|immediate")
+		cacheMB    = flag.Int("cache-mb", 64, "decompressed cache size per rank (MiB)")
+		spill      = flag.String("spill", "", "local-disk backend directory (empty = RAM)")
+		tcp        = flag.Bool("tcp", false, "carry messages over loopback TCP")
+		resume     = flag.Bool("resume", false, "resume from the latest checkpoint epoch")
+		seed       = flag.Int64("seed", 9, "dataset seed")
+	)
+	flag.Parse()
+
+	kind, ok := kindByName(*dsName)
+	if !ok {
+		log.Fatalf("unknown dataset %q", *dsName)
+	}
+	pol, ok := policyByName(*policy)
+	if !ok {
+		log.Fatalf("unknown cache policy %q", *policy)
+	}
+	if *files%(*batch**ranks) != 0 {
+		log.Fatalf("files (%d) must be a multiple of batch*ranks (%d)", *files, *batch**ranks)
+	}
+
+	// Data preparation (§V-B): done once, outside the job.
+	g := dataset.Generator{Kind: kind, Seed: *seed, Size: *size}
+	inputs := make([]fanstore.InputFile, *files)
+	paths := make([]string, *files)
+	for i := range inputs {
+		f := g.File(i, *files)
+		inputs[i] = fanstore.InputFile{Path: f.Path, Data: f.Data}
+		paths[i] = f.Path
+	}
+	bundle, err := fanstore.Pack(inputs, fanstore.BuildOptions{
+		Partitions: *ranks,
+		Compressor: *compressor,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d files x %d bytes, ratio %.2fx with %s\n",
+		kind, *files, *size, bundle.Ratio(), *compressor)
+
+	launch := fanstore.Run
+	if *tcp {
+		launch = fanstore.RunTCP
+	}
+	itersPerEpoch := *files / (*batch * *ranks)
+
+	err = launch(*ranks, func(c *fanstore.Comm) error {
+		opts := fanstore.Options{
+			CachePolicy: pol,
+			CacheBytes:  int64(*cacheMB) << 20,
+		}
+		if *spill != "" {
+			opts.SpillDir = fmt.Sprintf("%s/rank%04d", *spill, c.Rank())
+		}
+		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, opts)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+
+		startEpoch := 0
+		var weights uint32
+		if *resume {
+			data, epoch, ok, err := node.Resume("ckpt")
+			if err != nil {
+				return err
+			}
+			if ok {
+				startEpoch = epoch + 1
+				fmt.Sscanf(string(data), "weights=%x", &weights)
+				if c.Rank() == 0 {
+					fmt.Printf("resuming from epoch %d\n", epoch)
+				}
+			}
+		}
+
+		start := time.Now()
+		for epoch := startEpoch; epoch < startEpoch+*epochs; epoch++ {
+			order := rand.New(rand.NewSource(int64(epoch))).Perm(*files)
+			shuffled := make([]string, *files)
+			for i, idx := range order {
+				shuffled[i] = paths[idx]
+			}
+			pipe := prefetch.New(node,
+				prefetch.RangeSampler(shuffled, *batch, c.Rank(), *ranks),
+				prefetch.Options{Workers: *workers, Depth: 2})
+			for it := 0; it < itersPerEpoch; it++ {
+				b, ok, err := pipe.Next()
+				if err != nil {
+					pipe.Stop()
+					return err
+				}
+				if !ok {
+					break
+				}
+				var grad uint32
+				for _, img := range b.Data {
+					grad ^= crc32.ChecksumIEEE(img)
+				}
+				parts, err := c.Allgather(u32le(grad))
+				if err != nil {
+					return err
+				}
+				for _, p := range parts {
+					weights ^= le32(p)
+				}
+			}
+			pipe.Stop()
+			ckpt := fmt.Sprintf("ckpt/rank%d-epoch%03d.bin", c.Rank(), epoch)
+			if err := node.WriteFile(ckpt, []byte(fmt.Sprintf("weights=%08x", weights))); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("epoch %3d: weights=%08x\n", epoch, weights)
+			}
+		}
+
+		st := node.Stats()
+		samples := *epochs * itersPerEpoch * *batch
+		fmt.Printf("rank %d: %.0f samples/s | local %d remote %d | decompress %d | cache hits=%d evict=%d\n",
+			c.Rank(), float64(samples)/time.Since(start).Seconds(),
+			st.LocalOpens, st.RemoteOpens, st.Decompresses,
+			st.Cache.Hits, st.Cache.Evictions)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func u32le(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func le32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+func kindByName(name string) (dataset.Kind, bool) {
+	switch strings.ToLower(name) {
+	case "em":
+		return dataset.EM, true
+	case "tokamak", "rs":
+		return dataset.Tokamak, true
+	case "lung":
+		return dataset.Lung, true
+	case "astro", "astronomy":
+		return dataset.Astro, true
+	case "imagenet":
+		return dataset.ImageNet, true
+	case "language", "text":
+		return dataset.Language, true
+	}
+	return 0, false
+}
+
+func policyByName(name string) (fanstore.Policy, bool) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return fanstore.FIFO, true
+	case "lru":
+		return fanstore.LRU, true
+	case "immediate":
+		return fanstore.Immediate, true
+	}
+	return 0, false
+}

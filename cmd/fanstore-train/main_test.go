@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"fanstore"
+	"fanstore/internal/dataset"
+)
+
+func TestKindByName(t *testing.T) {
+	cases := map[string]dataset.Kind{
+		"EM": dataset.EM, "em": dataset.EM,
+		"Tokamak": dataset.Tokamak, "rs": dataset.Tokamak,
+		"LUNG": dataset.Lung, "astro": dataset.Astro,
+		"imagenet": dataset.ImageNet, "text": dataset.Language,
+	}
+	for in, want := range cases {
+		got, ok := kindByName(in)
+		if !ok || got != want {
+			t.Errorf("kindByName(%q) = %v, %v", in, got, ok)
+		}
+	}
+	if _, ok := kindByName("nope"); ok {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	cases := map[string]fanstore.Policy{
+		"fifo": fanstore.FIFO, "LRU": fanstore.LRU, "Immediate": fanstore.Immediate,
+	}
+	for in, want := range cases {
+		got, ok := policyByName(in)
+		if !ok || got != want {
+			t.Errorf("policyByName(%q) = %v, %v", in, got, ok)
+		}
+	}
+	if _, ok := policyByName("random"); ok {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLE32RoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0xdeadbeef, 1 << 31} {
+		if le32(u32le(v)) != v {
+			t.Errorf("le32(u32le(%#x)) mismatch", v)
+		}
+	}
+}

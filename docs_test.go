@@ -1,0 +1,95 @@
+package fanstore_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented walks every non-test source file and
+// verifies each exported declaration carries a doc comment — the
+// documentation deliverable, enforced.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	var goFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			goFiles = append(goFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goFiles) < 30 {
+		t.Fatalf("only found %d source files; walk broken?", len(goFiles))
+	}
+
+	fset := token.NewFileSet()
+	var missing []string
+	report := func(file string, pos token.Pos, what string) {
+		missing = append(missing, fmt.Sprintf("%s: %s", fset.Position(pos), what))
+	}
+	for _, path := range goFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				// String() and Name() are canonical self-describing
+				// methods; everything else exported needs a doc comment.
+				canonical := d.Recv != nil && (d.Name.Name == "String" || d.Name.Name == "Name")
+				if d.Name.IsExported() && d.Doc == nil && !isMethodOfUnexported(d) && !canonical {
+					report(path, d.Pos(), "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDocumented := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+							report(path, s.Pos(), "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+								report(path, s.Pos(), "var/const "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported symbols lack doc comments:\n%s", len(missing), strings.Join(missing, "\n"))
+	}
+}
+
+// isMethodOfUnexported reports whether d is a method whose receiver type
+// is unexported (its docs live on the interface or are internal detail).
+func isMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return !id.IsExported()
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module fanstore
+
+go 1.22

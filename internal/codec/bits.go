@@ -1,0 +1,71 @@
+package codec
+
+// bitWriter packs bits MSB-first into a byte slice. It backs the Huffman
+// entropy stage.
+type bitWriter struct {
+	dst []byte
+	acc uint64
+	n   uint
+}
+
+// writeBits appends the low n bits of v (n <= 32), most significant first.
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc = w.acc<<n | uint64(v)&((1<<n)-1)
+	w.n += n
+	for w.n >= 8 {
+		w.n -= 8
+		w.dst = append(w.dst, byte(w.acc>>w.n))
+	}
+}
+
+// finish flushes a final partial byte (zero padded) and returns the buffer.
+func (w *bitWriter) finish() []byte {
+	if w.n > 0 {
+		w.dst = append(w.dst, byte(w.acc<<(8-w.n)))
+		w.n = 0
+	}
+	return w.dst
+}
+
+// bitReader consumes bits MSB-first. Reading past the end of the buffer
+// yields zero bits; the decoder consumes a known symbol count, so framing
+// errors surface as length/checksum mismatches at the container layer
+// (as in real entropy-coded formats without per-block checksums).
+type bitReader struct {
+	src []byte
+	pos int
+	acc uint64
+	n   uint
+}
+
+func (r *bitReader) fill() {
+	for r.n <= 56 {
+		var b byte
+		if r.pos < len(r.src) {
+			b = r.src[r.pos]
+		}
+		r.pos++
+		r.acc = r.acc<<8 | uint64(b)
+		r.n += 8
+	}
+}
+
+// peek returns the next n bits (n <= 32) without consuming them.
+func (r *bitReader) peek(n uint) uint32 {
+	if r.n < n {
+		r.fill()
+	}
+	return uint32(r.acc >> (r.n - n) & ((1 << n) - 1))
+}
+
+// consume discards n previously peeked bits.
+func (r *bitReader) consume(n uint) {
+	r.n -= n
+}
+
+// readBits reads and consumes n bits (n <= 32).
+func (r *bitReader) readBits(n uint) uint32 {
+	v := r.peek(n)
+	r.consume(n)
+	return v
+}

@@ -1,0 +1,93 @@
+package codec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchInput is a mixed literal/match workload representative of the
+// imaging datasets (plateaus plus noise).
+func benchInput(n int) []byte {
+	rng := rand.New(rand.NewSource(12))
+	out := make([]byte, 0, n)
+	v := 120
+	for len(out) < n {
+		v += rng.Intn(9) - 4
+		run := 2 + rng.Intn(8)
+		for j := 0; j < run && len(out) < n; j++ {
+			out = append(out, byte(v))
+		}
+	}
+	return out
+}
+
+var benchFamilies = []string{
+	"store", "rle", "lzf-2", "lz4", "lz4fast-16", "lz4hc-9",
+	"lzsse8-4", "huff", "lzh-6", "lzd-6", "lzr-6", "flate-6", "lzw",
+	"delta2+lz4",
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := benchInput(256 << 10)
+	for _, name := range benchFamilies {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			cfg := MustGet(name)
+			b.SetBytes(int64(len(src)))
+			var dst []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				dst, err = cfg.Codec.Compress(dst[:0], src)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(src))/float64(len(dst)), "ratio")
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := benchInput(256 << 10)
+	for _, name := range benchFamilies {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			cfg := MustGet(name)
+			comp, err := cfg.Codec.Compress(nil, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			b.ResetTimer()
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				dst, err = cfg.Codec.Decompress(dst[:0], comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMatchFinder(b *testing.B) {
+	src := benchInput(128 << 10)
+	for _, attempts := range []int{4, 64, 1024} {
+		b.Run(fmt.Sprintf("attempts=%d", attempts), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				m := newChainMatcher(src, 0)
+				pos := 0
+				for pos < len(src)-8 {
+					_, l := m.best(pos, 4, attempts, 0)
+					if l == 0 {
+						pos++
+					} else {
+						pos += l
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. Without -fuzz they run their seed corpus as
+// regression tests; with `go test -fuzz=FuzzX ./internal/codec` they
+// explore further.
+
+// fuzzCodecs is a cross-family subset kept cheap enough for fuzzing.
+var fuzzCodecs = []string{"store", "rle", "lzf-2", "lz4", "lzsse8-2", "huff", "lzh-3", "lzd-3", "lzr-2", "shuffle2+lz4"}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Add(bytes.Repeat([]byte{0xAB, 0xCD}, 500))
+	f.Add(bytes.Repeat([]byte("abc"), 100))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<16 {
+			src = src[:1<<16]
+		}
+		for _, name := range fuzzCodecs {
+			cfg := MustGet(name)
+			comp, err := cfg.Codec.Compress(nil, src)
+			if err != nil {
+				t.Fatalf("%s: compress: %v", name, err)
+			}
+			got, err := cfg.Codec.Decompress(nil, comp)
+			if err != nil {
+				t.Fatalf("%s: decompress: %v", name, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s: round trip mismatch", name)
+			}
+		}
+	})
+}
+
+// FuzzDecompress feeds arbitrary bytes to every decoder: errors are fine,
+// panics and runaway allocations are not.
+func FuzzDecompress(f *testing.F) {
+	seed, _ := MustGet("lz4").Codec.Compress(nil, []byte("seed data for the corpus"))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		for _, name := range fuzzCodecs {
+			cfg := MustGet(name)
+			out, err := cfg.Codec.Decompress(nil, stream)
+			if err == nil && len(out) > MaxDecodedSize {
+				t.Fatalf("%s: decoded %d bytes", name, len(out))
+			}
+		}
+	})
+}

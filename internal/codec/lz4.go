@@ -1,0 +1,271 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// lz4Tables pools the 256 KiB hash tables of the greedy encoder. Entries
+// hold position+1 and are validated against the current input (candidate
+// must precede the cursor and its 4 bytes must match), so tables are
+// reused dirty — no 256 KiB clear per call, which matters at FanStore's
+// per-file compression granularity.
+var lz4Tables = sync.Pool{
+	New: func() interface{} { return new([1 << lz4HashLog]int32) },
+}
+
+// This file implements the LZ4 block format from scratch, with three
+// encoder strategies sharing one decoder:
+//
+//   - lz4Fast: greedy single-probe hashing with an acceleration factor
+//     (acceleration N skips faster through incompressible regions),
+//     reproducing the lz4/lz4fast family.
+//   - lz4HC: hash-chain search with a per-level attempt budget,
+//     reproducing the lz4hc levels.
+//   - lzsse: hash-chain search with a large minimum match, reproducing
+//     the LZSSE2/4/8 family (whose wide minimum matches trade ratio on
+//     small repeats for extremely cheap decoding).
+//
+// Block format (LZ4 compatible): a sequence is a token byte whose high
+// nibble is the literal length (15 = extended by 255-run bytes), the
+// literals, a 2-byte little-endian match offset (1..65535), and the low
+// nibble match length minus 4 (15 = extended). The final sequence is
+// literals-only.
+
+const (
+	lz4MinMatch = 4
+	lz4MaxDist  = 65535
+	lz4HashLog  = 16
+)
+
+// lz4EmitSeq appends one LZ4 sequence. mlen==0 emits a literals-only
+// terminator sequence.
+func lz4EmitSeq(dst, lit []byte, off, mlen int) []byte {
+	litLen := len(lit)
+	var token byte
+	if litLen >= 15 {
+		token = 0xf0
+	} else {
+		token = byte(litLen) << 4
+	}
+	ml := 0
+	if mlen > 0 {
+		ml = mlen - lz4MinMatch
+		if ml >= 15 {
+			token |= 0x0f
+		} else {
+			token |= byte(ml)
+		}
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = lz4EmitLen(dst, litLen-15)
+	}
+	dst = append(dst, lit...)
+	if mlen > 0 {
+		dst = append(dst, byte(off), byte(off>>8))
+		if ml >= 15 {
+			dst = lz4EmitLen(dst, ml-15)
+		}
+	}
+	return dst
+}
+
+func lz4EmitLen(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// lz4Decompress decodes an LZ4 block, appending exactly origLen bytes.
+func lz4Decompress(dst, src []byte, origLen int) ([]byte, error) {
+	base := len(dst)
+	want := base + origLen
+	i := 0
+	for {
+		if i >= len(src) {
+			if len(dst) == want {
+				return dst, nil
+			}
+			return dst, fmt.Errorf("%w: lz4 truncated (have %d of %d bytes)", ErrCorrupt, len(dst)-base, origLen)
+		}
+		token := src[i]
+		i++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = lz4ReadLen(src, i, litLen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		if i+litLen > len(src) || len(dst)+litLen > want {
+			return dst, fmt.Errorf("%w: lz4 literal overrun", ErrCorrupt)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+		if i == len(src) {
+			// Literals-only final sequence.
+			if len(dst) != want {
+				return dst, fmt.Errorf("%w: lz4 decoded %d bytes, want %d", ErrCorrupt, len(dst)-base, origLen)
+			}
+			return dst, nil
+		}
+		if i+2 > len(src) {
+			return dst, fmt.Errorf("%w: lz4 truncated offset", ErrCorrupt)
+		}
+		off := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if off == 0 {
+			return dst, fmt.Errorf("%w: lz4 zero offset", ErrCorrupt)
+		}
+		mlen := int(token & 0x0f)
+		if mlen == 15 {
+			var err error
+			mlen, i, err = lz4ReadLen(src, i, mlen)
+			if err != nil {
+				return dst, err
+			}
+		}
+		mlen += lz4MinMatch
+		ref := len(dst) - off
+		if ref < base || len(dst)+mlen > want {
+			return dst, fmt.Errorf("%w: lz4 bad match (off=%d len=%d)", ErrCorrupt, off, mlen)
+		}
+		if off >= mlen {
+			dst = append(dst, dst[ref:ref+mlen]...)
+		} else {
+			for j := 0; j < mlen; j++ { // overlapping copy
+				dst = append(dst, dst[ref+j])
+			}
+		}
+	}
+}
+
+func lz4ReadLen(src []byte, i, n int) (int, int, error) {
+	for {
+		if i >= len(src) {
+			return 0, i, fmt.Errorf("%w: lz4 truncated length", ErrCorrupt)
+		}
+		b := src[i]
+		i++
+		n += int(b)
+		if b != 255 {
+			return n, i, nil
+		}
+	}
+}
+
+// lz4Fast is the greedy LZ4 encoder with an acceleration factor.
+type lz4Fast struct {
+	accel int // >=1; higher skips through unmatchable data faster
+}
+
+func (c lz4Fast) name() string {
+	if c.accel == 1 {
+		return "lz4"
+	}
+	return fmt.Sprintf("lz4fast-%d", c.accel)
+}
+
+func (c lz4Fast) compressBlock(dst, src []byte) ([]byte, error) {
+	if len(src) < lz4MinMatch+1 {
+		return lz4EmitSeq(dst, src, 0, 0), nil
+	}
+	table := lz4Tables.Get().(*[1 << lz4HashLog]int32)
+	defer lz4Tables.Put(table)
+	i := 0
+	litStart := 0
+	limit := len(src) - lz4MinMatch
+	step := 1
+	searchTrigger := c.accel << 6
+	tries := searchTrigger
+	for i < limit {
+		h := cmHash(load32(src, i))
+		cand := int(table[h]) - 1 // entries are pos+1; stale ones are validated below
+		table[h] = int32(i + 1)
+		if cand >= 0 && cand < i && i-cand <= lz4MaxDist && cand+lz4MinMatch <= len(src) && load32(src, cand) == load32(src, i) {
+			mlen := lz4MinMatch + matchLen(src, cand+lz4MinMatch, i+lz4MinMatch, len(src)-i-lz4MinMatch)
+			dst = lz4EmitSeq(dst, src[litStart:i], i-cand, mlen)
+			i += mlen
+			litStart = i
+			step = 1
+			tries = searchTrigger
+			if i < limit {
+				table[cmHash(load32(src, i-2))] = int32(i - 1)
+			}
+		} else {
+			i += step
+			tries--
+			if tries <= 0 { // accelerate through incompressible data
+				step++
+				tries = searchTrigger
+			}
+		}
+	}
+	dst = lz4EmitSeq(dst, src[litStart:], 0, 0)
+	return dst, nil
+}
+
+func (c lz4Fast) decompressBlock(dst, src []byte, origLen int) ([]byte, error) {
+	return lz4Decompress(dst, src, origLen)
+}
+
+// lz4HC is the hash-chain LZ4 encoder; level sets the chain attempt budget.
+type lz4HC struct {
+	level int // 1..12
+}
+
+func (c lz4HC) name() string { return fmt.Sprintf("lz4hc-%d", c.level) }
+
+func (c lz4HC) compressBlock(dst, src []byte) ([]byte, error) {
+	return lzChainCompress(dst, src, lz4MinMatch, 1<<uint(c.level/2+2))
+}
+
+func (c lz4HC) decompressBlock(dst, src []byte, origLen int) ([]byte, error) {
+	return lz4Decompress(dst, src, origLen)
+}
+
+// lzsse mimics the LZSSE family: LZ4 block format, but matches shorter
+// than minMatch bytes are never emitted, which keeps the decode loop's
+// copies long and cheap.
+type lzsse struct {
+	minMatch int // 4, 8 or 16, mirroring LZSSE2/4/8 variants
+	level    int // chain effort
+}
+
+func (c lzsse) name() string { return fmt.Sprintf("lzsse%d-%d", c.minMatch, c.level) }
+
+func (c lzsse) compressBlock(dst, src []byte) ([]byte, error) {
+	return lzChainCompress(dst, src, c.minMatch, 1<<uint(c.level+1))
+}
+
+func (c lzsse) decompressBlock(dst, src []byte, origLen int) ([]byte, error) {
+	return lz4Decompress(dst, src, origLen)
+}
+
+// lzChainCompress is the shared hash-chain encoder emitting LZ4 block
+// format with a configurable minimum match and attempt budget.
+func lzChainCompress(dst, src []byte, minMatch, attempts int) ([]byte, error) {
+	if len(src) < minMatch+1 || len(src) < 5 {
+		return lz4EmitSeq(dst, src, 0, 0), nil
+	}
+	m := newChainMatcher(src, lz4MaxDist)
+	i := 0
+	litStart := 0
+	limit := len(src) - lz4MinMatch
+	for i < limit {
+		dist, mlen := m.best(i, minMatch, attempts, 0)
+		if mlen == 0 {
+			i++
+			continue
+		}
+		dst = lz4EmitSeq(dst, src[litStart:i], dist, mlen)
+		i += mlen
+		litStart = i
+	}
+	dst = lz4EmitSeq(dst, src[litStart:], 0, 0)
+	return dst, nil
+}

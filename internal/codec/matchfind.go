@@ -1,0 +1,112 @@
+package codec
+
+// chainMatcher is a hash-chain LZ77 match finder shared by the
+// higher-effort encoders (lz4hc, lzsse, lzh, lzr). It indexes 4-byte
+// hashes and walks collision chains up to a configurable attempt budget,
+// which is how the registry turns one algorithm into a family of
+// effort/ratio option levels.
+type chainMatcher struct {
+	src     []byte
+	head    []int32
+	prev    []int32
+	maxDist int
+	nextPos int // first position not yet inserted
+}
+
+const (
+	cmHashLog = 16
+	cmNoPos   = int32(-1)
+)
+
+func cmHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - cmHashLog)
+}
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// newChainMatcher prepares a matcher over src with matches limited to
+// maxDist back-references (0 means unlimited within the block).
+func newChainMatcher(src []byte, maxDist int) *chainMatcher {
+	m := &chainMatcher{
+		src:     src,
+		head:    make([]int32, 1<<cmHashLog),
+		prev:    make([]int32, len(src)),
+		maxDist: maxDist,
+	}
+	for i := range m.head {
+		m.head[i] = cmNoPos
+	}
+	return m
+}
+
+// insertTo indexes every position in [nextPos, pos).
+func (m *chainMatcher) insertTo(pos int) {
+	limit := len(m.src) - 4
+	if pos > limit {
+		pos = limit
+	}
+	for ; m.nextPos < pos; m.nextPos++ {
+		h := cmHash(load32(m.src, m.nextPos))
+		m.prev[m.nextPos] = m.head[h]
+		m.head[h] = int32(m.nextPos)
+	}
+}
+
+// best returns the longest match of at least minMatch bytes ending the
+// search after maxAttempts chain links. A zero length means no match.
+// maxLen caps the returned length (callers with bounded length fields
+// pass their format limit; 0 means unbounded).
+func (m *chainMatcher) best(pos, minMatch, maxAttempts, maxLen int) (dist, mlen int) {
+	src := m.src
+	if pos+4 > len(src) {
+		return 0, 0
+	}
+	m.insertTo(pos)
+	limit := len(src) - pos
+	if maxLen > 0 && limit > maxLen {
+		limit = maxLen
+	}
+	if limit < minMatch {
+		return 0, 0
+	}
+	h := cmHash(load32(src, pos))
+	cand := m.head[h]
+	bestLen := minMatch - 1
+	for attempts := 0; cand != cmNoPos && attempts < maxAttempts; attempts, cand = attempts+1, m.prev[cand] {
+		c := int(cand)
+		if c >= pos {
+			continue
+		}
+		d := pos - c
+		if m.maxDist > 0 && d > m.maxDist {
+			break // chain is ordered by position: all further candidates are older
+		}
+		// Quick reject: check the byte just past the current best.
+		if c+bestLen >= len(src) || src[c+bestLen] != src[pos+bestLen] {
+			continue
+		}
+		l := matchLen(src, c, pos, limit)
+		if l > bestLen {
+			bestLen = l
+			dist = d
+			if l == limit {
+				break
+			}
+		}
+	}
+	if bestLen < minMatch {
+		return 0, 0
+	}
+	return dist, bestLen
+}
+
+// matchLen counts equal bytes between src[a:] and src[b:], up to limit.
+func matchLen(src []byte, a, b, limit int) int {
+	n := 0
+	for n < limit && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config is one registered (codec, option, filter) configuration. IDs are
+// stable, assigned in registration order, and stored in FanStore's
+// compressed data representation (the 2-byte compressor field of Table I),
+// so the registration order below is append-only.
+type Config struct {
+	ID     uint16
+	Name   string
+	Family string // codec family for reporting: "lz4", "lzr", "flate", ...
+	Codec  Codec
+}
+
+var (
+	registryOnce sync.Once
+	registry     []Config
+	byName       map[string]*Config
+	byID         map[uint16]*Config
+
+	// aliases maps the paper's compressor names onto registry
+	// configurations in the equivalent performance band (§VII-D).
+	aliases = map[string]string{
+		"memcpy":  "store",
+		"lzf":     "lzf-2",
+		"lz4fast": "lz4fast-8",
+		"lz4hc":   "lz4hc-9",
+		"lzsse2":  "lzsse4-4",
+		"lzsse4":  "lzsse8-2",
+		"lzsse8":  "lzsse8-4",
+		"lzsse16": "lzsse16-4",
+		"brotli":  "lzd-9",
+		"zling":   "lzh-5",
+		"zstd":    "lzh-3",
+		"zlib":    "lzd-6",
+		"gzip":    "lzd-6",
+		"lzma":    "lzr-9",
+		"xz":      "lzr-8",
+	}
+)
+
+// families lists the base codecs, in ID order. Each entry multiplies with
+// the filter set {none, delta2, delta4}, yielding 192 configurations —
+// the scale of lzbench's 180-configuration sweep in §VII-D.
+func families() []struct {
+	family string
+	bc     blockCodec
+} {
+	type entry = struct {
+		family string
+		bc     blockCodec
+	}
+	var out []entry
+	add := func(family string, bc blockCodec) { out = append(out, entry{family, bc}) }
+
+	add("store", storeCodec{})
+	add("rle", rleCodec{})
+	add("lzf", lzfCodec{level: 1})
+	add("lzf", lzfCodec{level: 2})
+	for _, a := range []int{1, 2, 4, 8, 16, 32, 64} {
+		add("lz4", lz4Fast{accel: a})
+	}
+	for l := 1; l <= 12; l++ {
+		add("lz4hc", lz4HC{level: l})
+	}
+	for _, mm := range []int{4, 8, 16} {
+		for _, l := range []int{1, 2, 4, 6} {
+			add("lzsse", lzsse{minMatch: mm, level: l})
+		}
+	}
+	add("huff", huffCodec{})
+	for l := 1; l <= 9; l++ {
+		add("lzh", lzhCodec{level: l})
+	}
+	for l := 1; l <= 9; l++ {
+		add("lzr", lzrCodec{level: l})
+	}
+	for l := 1; l <= 9; l++ {
+		add("flate", flateCodec{level: l})
+	}
+	add("lzw", lzwCodec{})
+	return out
+}
+
+func initRegistry() {
+	byName = make(map[string]*Config)
+	byID = make(map[uint16]*Config)
+	id := uint16(0)
+	register := func(family string, bc blockCodec) {
+		registry = append(registry, Config{ID: id, Name: bc.name(), Family: family, Codec: wrap(bc)})
+		id++
+	}
+	base := families()
+	for _, e := range base {
+		register(e.family, e.bc)
+	}
+	for _, stride := range []int{2, 4} {
+		for _, e := range base {
+			register(e.family, deltaFilter{stride: stride, inner: e.bc})
+		}
+	}
+	// lzd (the dual-table deflate-class family) postdates the first
+	// registry layout; it is appended here so earlier IDs — which live in
+	// packed partitions — stay stable.
+	var lzds []blockCodec
+	for l := 1; l <= 9; l++ {
+		lzds = append(lzds, lzdCodec{level: l})
+	}
+	for _, bc := range lzds {
+		register("lzd", bc)
+	}
+	for _, stride := range []int{2, 4} {
+		for _, bc := range lzds {
+			register("lzd", deltaFilter{stride: stride, inner: bc})
+		}
+	}
+	// shuffle filters (HDF5-style byte transposition) are likewise a
+	// later, appended addition, over the codecs that benefit from
+	// byte-plane grouping.
+	shuffleBases := []struct {
+		family string
+		bc     blockCodec
+	}{
+		{"lz4", lz4Fast{accel: 1}},
+		{"lz4hc", lz4HC{level: 9}},
+		{"lzsse", lzsse{minMatch: 8, level: 4}},
+		{"lzh", lzhCodec{level: 6}},
+		{"lzd", lzdCodec{level: 6}},
+		{"lzr", lzrCodec{level: 6}},
+	}
+	for _, stride := range []int{2, 4} {
+		for _, e := range shuffleBases {
+			register(e.family, shuffleFilter{stride: stride, inner: e.bc})
+		}
+	}
+	// Build the lookup maps only after all appends, so no pointer into the
+	// registry slice is invalidated by growth.
+	for i := range registry {
+		byName[registry[i].Name] = &registry[i]
+		byID[registry[i].ID] = &registry[i]
+	}
+}
+
+func ensureRegistry() { registryOnce.Do(initRegistry) }
+
+// Registry returns every registered configuration in ID order.
+func Registry() []Config {
+	ensureRegistry()
+	out := make([]Config, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// NumConfigs reports the number of registered configurations.
+func NumConfigs() int {
+	ensureRegistry()
+	return len(registry)
+}
+
+// ByName looks a configuration up by its registry name or by a paper
+// alias ("lzma", "lzsse8", "memcpy", ...).
+func ByName(name string) (Config, bool) {
+	ensureRegistry()
+	if target, ok := aliases[name]; ok {
+		name = target
+	}
+	c, ok := byName[name]
+	if !ok {
+		return Config{}, false
+	}
+	return *c, true
+}
+
+// ByID looks a configuration up by its stable registry ID.
+func ByID(id uint16) (Config, bool) {
+	ensureRegistry()
+	c, ok := byID[id]
+	if !ok {
+		return Config{}, false
+	}
+	return *c, true
+}
+
+// MustGet returns the codec for name, panicking on unknown names. Intended
+// for tests, benchmarks and package setup with literal names.
+func MustGet(name string) Config {
+	c, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("codec: unknown configuration %q", name))
+	}
+	return c
+}
+
+// Aliases returns the paper-name alias table, sorted by alias.
+func Aliases() [][2]string {
+	out := make([][2]string, 0, len(aliases))
+	for k, v := range aliases {
+		out = append(out, [2]string{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

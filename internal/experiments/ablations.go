@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"fanstore/internal/cluster"
+	"fanstore/internal/dataset"
+	"fanstore/internal/fanstore"
+	"fanstore/internal/iobench"
+	"fanstore/internal/mpi"
+	"fanstore/internal/pack"
+	"fanstore/internal/trainsim"
+)
+
+// Ablations exercises the design decisions DESIGN.md calls out, beyond
+// what the paper's own exhibits cover: cache policy, ring replication,
+// RAM metadata, and the global view vs. the §III chunk workaround.
+func Ablations(w io.Writer, opt Options) error {
+	if err := ablationCache(w, opt); err != nil {
+		return err
+	}
+	if err := ablationRing(w, opt); err != nil {
+		return err
+	}
+	if err := ablationMetadata(w, opt); err != nil {
+		return err
+	}
+	return ablationChunked(w)
+}
+
+// ablationCache replays a uniform re-read workload against each cache
+// policy with capacity for half the files (§IV-C3's design argument).
+func ablationCache(w io.Writer, opt Options) error {
+	const n, size, reads = 16, 16 << 10, 200
+	g := dataset.Generator{Kind: dataset.EM, Seed: opt.Seed, Size: size}
+	files := make([]pack.InputFile, n)
+	paths := make([]string, n)
+	for i := range files {
+		f := g.File(i, n)
+		files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+		paths[i] = f.Path
+	}
+	bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 1, Compressor: "lzsse8"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "--- cache policy (uniform random re-reads, cache = half the dataset) ---\n")
+	t := tw(w)
+	fmt.Fprintf(t, "policy\tdecompressions per read\thit rate\n")
+	for _, pol := range []fanstore.Policy{fanstore.FIFO, fanstore.LRU, fanstore.Immediate} {
+		pol := pol
+		err := mpi.Run(1, func(c *mpi.Comm) error {
+			node, err := fanstore.Mount(c, bundle.Scatter, nil, fanstore.Options{
+				CachePolicy: pol, CacheBytes: int64(n * size / 2),
+			})
+			if err != nil {
+				return err
+			}
+			defer node.Close()
+			// Uniform random access: every file equally likely each
+			// iteration, the paper's model of training I/O (§IV-C3).
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < reads; i++ {
+				if _, err := node.ReadFile(paths[rng.Intn(n)]); err != nil {
+					return err
+				}
+			}
+			st := node.Stats()
+			fmt.Fprintf(t, "%s\t%.2f\t%.0f%%\n", pol,
+				float64(st.Decompresses)/reads,
+				float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses)*100)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	t.Flush()
+	fmt.Fprintf(w, "uniform access probability (the paper's argument): FIFO ~ LRU, both beat immediate release.\n\n")
+	return nil
+}
+
+// ablationRing reads a peer's partition with and without ring replication
+// (§V-D).
+func ablationRing(w io.Writer, opt Options) error {
+	const n, size = 8, 16 << 10
+	g := dataset.Generator{Kind: dataset.EM, Seed: opt.Seed + 1, Size: size}
+	files := make([]pack.InputFile, n)
+	paths := make([]string, n)
+	for i := range files {
+		f := g.File(i, n)
+		files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+		paths[i] = f.Path
+	}
+	bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 2, Compressor: "lzsse8"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "--- ring replication of extra partitions (§V-D) ---\n")
+	t := tw(w)
+	fmt.Fprintf(t, "placement\tremote fetches\tremote bytes\n")
+	for _, replicate := range []bool{false, true} {
+		replicate := replicate
+		err := mpi.Run(2, func(c *mpi.Comm) error {
+			opts := fanstore.Options{CachePolicy: fanstore.Immediate}
+			own := [][]byte{bundle.Scatter[c.Rank()]}
+			if replicate {
+				extra, err := fanstore.RingReplicate(c, own)
+				if err != nil {
+					return err
+				}
+				opts.Replicas = extra
+			}
+			node, err := fanstore.Mount(c, own, nil, opts)
+			if err != nil {
+				return err
+			}
+			defer node.Close()
+			if c.Rank() == 0 {
+				for round := 0; round < 5; round++ {
+					for i := 1; i < n; i += 2 { // rank 1's partition
+						if _, err := node.ReadFile(paths[i]); err != nil {
+							return err
+						}
+					}
+				}
+				st := node.Stats()
+				label := "remote fetch"
+				if replicate {
+					label = "ring replicated"
+				}
+				fmt.Fprintf(t, "%s\t%d\t%d\n", label, st.RemoteOpens, st.RemoteBytes)
+			}
+			return c.Barrier()
+		})
+		if err != nil {
+			return err
+		}
+	}
+	t.Flush()
+	fmt.Fprintf(w, "\n")
+	return nil
+}
+
+// ablationMetadata measures the live RAM-table stat() against the modeled
+// shared-filesystem RPC it replaces (§IV-C1/2).
+func ablationMetadata(w io.Writer, opt Options) error {
+	const n = 64
+	g := dataset.Generator{Kind: dataset.ImageNet, Seed: opt.Seed + 2, Size: 4 << 10}
+	files := make([]pack.InputFile, n)
+	paths := make([]string, n)
+	for i := range files {
+		f := g.File(i, n)
+		files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+		paths[i] = f.Path
+	}
+	bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 1, Compressor: "memcpy"})
+	if err != nil {
+		return err
+	}
+	var perStat time.Duration
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		node, err := fanstore.Mount(c, bundle.Scatter, nil, fanstore.Options{})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		const rounds = 2000
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := node.Stat(paths[i%n]); err != nil {
+				return err
+			}
+		}
+		perStat = time.Since(start) / rounds
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The §II-B1 burst: 96 concurrent enumerators (24 processes x 4 I/O
+	// threads of the paper's 4-node example) walking the namespace.
+	var burst iobench.Result
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		node, err := fanstore.Mount(c, bundle.Scatter, nil, fanstore.Options{})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		burst, err = iobench.MeasureMetadataBurst(node, 96)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rpc := cluster.CPU.Shared.Device().Overhead
+	fmt.Fprintf(w, "--- metadata from RAM vs shared-FS RPC (§IV-C, §II-B1) ---\n")
+	fmt.Fprintf(w, "FanStore stat(): %v/op (measured) | Lustre MDS round trip: %v/op (model) | ratio %.0fx\n",
+		perStat, rpc, float64(rpc)/float64(perStat+1))
+	fmt.Fprintf(w, "96-thread enumeration burst: %.0f metadata ops/s served from RAM\n",
+		burst.FilesPerSec)
+	fmt.Fprintf(w, "(the modeled Lustre MDS saturates at %.0f ops/s shared by ALL nodes)\n\n",
+		cluster.CPU.Shared.MDSOpsPerSec)
+	return nil
+}
+
+// ablationChunked compares FanStore's global view against the §III chunk
+// permutation workaround for a ResNet-scale run.
+func ablationChunked(w io.Writer) error {
+	ch := trainsim.Chunked{
+		Base:         trainsim.Config{App: cluster.ResNet50, Clust: cluster.CPU, Nodes: 64, Ratio: 1},
+		PermuteEvery: 5,
+		DatasetBytes: 140 << 30,
+	}
+	const epochs, files = 90, 1_300_000
+	chunked := ch.TrainTime(epochs, files)
+	global := ch.GlobalViewTrainTime(epochs, files)
+	fmt.Fprintf(w, "--- global view vs chunk permutation (§III) ---\n")
+	fmt.Fprintf(w, "ResNet-50, 64 nodes, %d epochs: global view %v | chunked+permute %v (global/chunked %.1f%%)\n",
+		epochs, global.Round(time.Second), chunked.Round(time.Second),
+		float64(global)/float64(chunked)*100)
+	fmt.Fprintf(w, "the async pipeline hides the remote fraction, so the statistically sound\n")
+	fmt.Fprintf(w, "global view costs nothing — the paper's case against the workaround.\n")
+	return nil
+}

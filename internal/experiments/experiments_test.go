@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment in quick mode and
+// sanity-checks the output blocks.
+func TestAllExperimentsRun(t *testing.T) {
+	if len(All()) != 11 {
+		t.Fatalf("expected 11 experiments (every table and figure + ablations), got %d", len(All()))
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Options{Quick: true, Seed: 11}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 80 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table7"); !ok {
+		t.Fatal("table7 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestTable4ReproducesOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(&buf, Options{Quick: true, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, kind := range []string{"EM", "Tokamak", "Lung", "ImageNet", "Language"} {
+		if !strings.Contains(out, kind) {
+			t.Fatalf("Table4 missing %s:\n%s", kind, out)
+		}
+	}
+}
+
+func TestTable7SelectsFastCompressorForSRGAN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table7(&buf, Options{Quick: true, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SRGAN-GTX") || !strings.Contains(out, "FRNN-CPU") || !strings.Contains(out, "SRGAN-V100") {
+		t.Fatalf("Table7 missing cases:\n%s", out)
+	}
+	if !strings.Contains(out, "selected:") {
+		t.Fatalf("Table7 reports no selections:\n%s", out)
+	}
+}

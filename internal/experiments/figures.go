@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fanstore/internal/cluster"
+	"fanstore/internal/codec"
+	"fanstore/internal/dataset"
+	"fanstore/internal/fanstore"
+	"fanstore/internal/iobench"
+	"fanstore/internal/mpi"
+	"fanstore/internal/pack"
+	"fanstore/internal/selector"
+	"fanstore/internal/tfrecord"
+	"fanstore/internal/trainsim"
+)
+
+// Fig6 measures this implementation's FanStore read path against the
+// TFRecord+tf.Example pipeline on three datasets (§VII-C's
+// compression-free comparison; both sides store data uncompressed).
+func Fig6(w io.Writer, opt Options) error {
+	type ds struct {
+		kind  dataset.Kind
+		n     int
+		size  int
+		label string
+	}
+	sets := []ds{
+		{dataset.ImageNet, 48, 96 << 10, "ImageNet (jpg)"},
+		{dataset.EM, 12, 384 << 10, "EM (tif)"},
+		{dataset.Tokamak, 512, 1200, "RS (npz)"},
+	}
+	if opt.Quick {
+		sets = sets[:2]
+		for i := range sets {
+			sets[i].n /= 4
+		}
+	}
+	t := tw(w)
+	fmt.Fprintf(t, "dataset\tFanStore (files/s)\tTFRecord (files/s)\tspeedup\t(paper: 5-10x)\n")
+	for _, s := range sets {
+		g := dataset.Generator{Kind: s.kind, Seed: opt.Seed, Size: s.size}
+		files := make([]pack.InputFile, s.n)
+		names := make([]string, s.n)
+		payloads := make([][]byte, s.n)
+		var paths []string
+		for i := range files {
+			f := g.File(i, s.n)
+			files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+			names[i], payloads[i] = f.Path, f.Data
+			paths = append(paths, f.Path)
+		}
+		// Compression-free on both sides: FanStore stores raw.
+		bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 1, Compressor: "memcpy"})
+		if err != nil {
+			return err
+		}
+		var fsRes iobench.Result
+		err = mpi.Run(1, func(c *mpi.Comm) error {
+			node, err := fanstore.Mount(c, bundle.Scatter, nil, fanstore.Options{
+				// Immediate release: measure the full open/decode/copy
+				// path every time, not just warm cache hits.
+				CachePolicy: fanstore.Immediate,
+			})
+			if err != nil {
+				return err
+			}
+			defer node.Close()
+			fsRes, err = iobench.MeasureNode(node, paths, 5)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		blob, err := tfrecord.MarshalDataset(names, payloads)
+		if err != nil {
+			return err
+		}
+		tfRes, err := iobench.MeasureTFExamples(blob, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(t, "%s\t%.0f\t%.0f\t%.1fx\t\n",
+			s.label, fsRes.FilesPerSec, tfRes.FilesPerSec, fsRes.FilesPerSec/tfRes.FilesPerSec)
+	}
+	t.Flush()
+	fmt.Fprintf(w, "note: the direction and per-dataset ordering reproduce Fig. 6; the paper's\n")
+	fmt.Fprintf(w, "5-10x magnitude also includes TensorFlow framework overhead not modeled here.\n")
+	return nil
+}
+
+// Fig7 sweeps the codec registry on the TIF (EM) and NPZ (Tokamak)
+// datasets, reporting the compression-ratio / decompression-time plane
+// and its frontier points (the paper's green crosses and red pluses).
+func Fig7(w io.Writer, opt Options) error {
+	type ds struct {
+		kind  dataset.Kind
+		n     int
+		size  int
+		label string
+	}
+	sets := []ds{
+		{dataset.EM, 2, 256 << 10, "TIF (EM)"},
+		{dataset.Tokamak, 48, 1200, "NPZ (Tokamak)"},
+	}
+	cfgs := codec.Registry()
+	stride := 1
+	if opt.Quick {
+		stride = 8
+		sets[0].size = 64 << 10
+	}
+	for _, s := range sets {
+		set := samples(s.kind, opt.Seed, s.n, s.size)
+		fmt.Fprintf(w, "--- %s: %d configurations ---\n", s.label, (len(cfgs)+stride-1)/stride)
+		var fastest, densest selector.Candidate
+		var fastestFam, densestFam string
+		count := 0
+		t := tw(w)
+		fmt.Fprintf(t, "config\tfamily\tratio\tdecompress (us/file)\n")
+		for i := 0; i < len(cfgs); i += stride {
+			cfg := cfgs[i]
+			c, err := selector.MeasureCandidate(cfg.Name, set)
+			if err != nil {
+				continue
+			}
+			count++
+			fmt.Fprintf(t, "%s\t%s\t%.2f\t%s\n", c.Name, cfg.Family, c.Ratio, us(c.DecompressPerFile))
+			if c.Ratio > 1.05 && (fastest.Name == "" || c.DecompressPerFile < fastest.DecompressPerFile) {
+				fastest, fastestFam = c, cfg.Family
+			}
+			if densest.Name == "" || c.Ratio > densest.Ratio {
+				densest, densestFam = c, cfg.Family
+			}
+		}
+		t.Flush()
+		fmt.Fprintf(w, "fastest useful decompressor: %s (%s) ratio %.2f at %s us/file\n",
+			fastest.Name, fastestFam, fastest.Ratio, us(fastest.DecompressPerFile))
+		fmt.Fprintf(w, "highest ratio: %s (%s) ratio %.2f at %s us/file\n\n",
+			densest.Name, densestFam, densest.Ratio, us(densest.DecompressPerFile))
+	}
+	fmt.Fprintf(w, "paper: fast-LZ configs land at ratio 1-3 within ~an order of magnitude of\n")
+	fmt.Fprintf(w, "memcpy; the highest-ratio (lzma/xz class) configs decode 2-3 orders slower.\n")
+	return nil
+}
+
+// fig8Case evaluates one application/cluster pair: measured candidate
+// costs plugged into the training simulator, reported relative to the
+// uncompressed-local baseline.
+func fig8Case(w io.Writer, opt Options, label string, app cluster.App, c cluster.Cluster, nodes int, paperNote string) error {
+	set, sampleSize := appSamples(app, opt)
+	fmt.Fprintf(w, "--- %s (%d nodes) ---\n", label, nodes)
+	t := tw(w)
+	fmt.Fprintf(t, "compressor\tratio\tdecompress (us/file)\trelative perf\n")
+	fmt.Fprintf(t, "baseline\t1.0\t0\t100.0%%\n")
+	for _, name := range paperCandidates[label] {
+		cand, err := scaledCandidate(name, set, sampleSize, app.FileSizeBytes())
+		if err != nil {
+			return err
+		}
+		cfg := trainsim.Config{
+			App: app, Clust: c, Nodes: nodes,
+			DecompressPerFile: cand.DecompressPerFile,
+			Ratio:             cand.Ratio,
+		}
+		fmt.Fprintf(t, "%s\t%.1f\t%s\t%.1f%%\n",
+			name, cand.Ratio, us(cand.DecompressPerFile), cfg.RelativePerf()*100)
+	}
+	t.Flush()
+	fmt.Fprintf(w, "paper: %s\n\n", paperNote)
+	return nil
+}
+
+// Fig8 reproduces the three application-performance panels.
+func Fig8(w io.Writer, opt Options) error {
+	if err := fig8Case(w, opt, "SRGAN-GTX", cluster.SRGANonGTX, cluster.GTX, 4,
+		"lzsse8/lz4hc match baseline; brotli ~90%; zling/lzma 1.1-2.3x slowdown"); err != nil {
+		return err
+	}
+	if err := fig8Case(w, opt, "FRNN-CPU", cluster.FRNNonCPU, cluster.CPU, 4,
+		"all three candidates identical to baseline (async I/O hides decompression)"); err != nil {
+		return err
+	}
+	return fig8Case(w, opt, "SRGAN-V100", cluster.SRGANonV100, cluster.V100, 4,
+		"lz4hc 95.3% of baseline; lzma 72.8%; brotli 24.6%")
+}
+
+// Fig9 reproduces the weak-scaling panels, including the Lustre series
+// and the 512-node metadata storm.
+func Fig9(w io.Writer, opt Options) error {
+	// Panel (a): SRGAN on GTX with lzsse8 (measured).
+	set, sampleSize := appSamples(cluster.SRGANonGTX, opt)
+	lzsse, err := scaledCandidate("lzsse8", set, sampleSize, cluster.SRGANonGTX.FileSizeBytes())
+	if err != nil {
+		return err
+	}
+	srgan := trainsim.Config{
+		App: cluster.SRGANonGTX, Clust: cluster.GTX,
+		DecompressPerFile: lzsse.DecompressPerFile, Ratio: lzsse.Ratio,
+	}
+	fmt.Fprintf(w, "--- SRGAN on GTX (lzsse8, ratio %.1f) ---\n", lzsse.Ratio)
+	for _, p := range trainsim.WeakScaling(srgan, []int{1, 2, 4, 8, 16}) {
+		fmt.Fprintf(w, "  %s\n", p)
+	}
+	fmt.Fprintf(w, "paper: 97.9%% weak scaling efficiency at 16 nodes / 64 GPUs\n\n")
+
+	// Panel (b): ResNet-50 on GTX (ImageNet stays uncompressed).
+	resnetGTX := trainsim.Config{App: cluster.ResNet50, Clust: cluster.GTX, Ratio: 1}
+	fmt.Fprintf(w, "--- ResNet-50 on GTX ---\n")
+	for _, p := range trainsim.WeakScaling(resnetGTX, []int{1, 2, 4, 8, 16}) {
+		fmt.Fprintf(w, "  %s\n", p)
+	}
+	fmt.Fprintf(w, "paper: 90.4%% at 16 nodes / 64 GPUs\n\n")
+
+	// Panel (c): ResNet-50 on CPU up to 512 nodes, with the Lustre
+	// comparison.
+	resnetCPU := trainsim.Config{App: cluster.ResNet50, Clust: cluster.CPU, Ratio: 1}
+	fmt.Fprintf(w, "--- ResNet-50 on CPU ---\n")
+	counts := []int{1, 8, 32, 128, 512}
+	pts := trainsim.WeakScaling(resnetCPU, counts)
+	single := resnetCPU
+	single.Nodes = 1
+	t1 := single.Throughput()
+	spec := dataset.ImageNet.Spec()
+	for i, p := range pts {
+		lus := trainsim.LustreScalingAt(resnetCPU, counts[i], spec.NumFiles, spec.NumDirs, t1)
+		fmt.Fprintf(w, "  FanStore %s | Lustre eff=%.1f%% startup=%s\n",
+			p, lus.Point.Efficiency*100, fmtDur(lus.Startup))
+	}
+	fmt.Fprintf(w, "paper: FanStore 92.2%% at 512 nodes; Lustre did not start training within an hour\n")
+	return nil
+}
+
+func fmtDur(d time.Duration) string {
+	if d > time.Hour {
+		return fmt.Sprintf("%.1fh", d.Hours())
+	}
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,186 @@
+package fanstore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Policy selects the cache replacement strategy. The paper argues (§IV-C3)
+// that because every training file has identical access probability each
+// epoch, recency carries no signal — so FanStore uses FIFO, modified to
+// never evict an entry that an open file descriptor still references.
+// The other policies exist for the ablation benchmarks.
+type Policy int
+
+const (
+	// FIFO evicts the oldest unpinned entry (the paper's policy).
+	FIFO Policy = iota
+	// LRU evicts the least recently used unpinned entry.
+	LRU
+	// Immediate drops entries as soon as their reference count hits
+	// zero (the paper's minimum-RAM reading: "the cache entry is
+	// released if the counter of a file is zero").
+	Immediate
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case LRU:
+		return "lru"
+	case Immediate:
+		return "immediate"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// cacheEntry is one decompressed file in the shared memory pool.
+type cacheEntry struct {
+	path string
+	data []byte
+	refs int
+	elem *list.Element
+}
+
+// CacheStats reports cache behaviour for tests and benchmarks.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Used      int64
+	Entries   int
+}
+
+// Cache is the thread-safe decompressed-data pool of Fig. 4: a hash table
+// tracking open files and their reference counts, with pinned-aware
+// replacement. It deliberately uses a small capacity: the training
+// program itself is memory-hungry (§IV-C3).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*cacheEntry
+	order    *list.List // eviction order: front = next victim
+	policy   Policy
+
+	hits, misses, evictions int64
+}
+
+// NewCache builds a cache bounded to capacity bytes of decompressed data.
+// Pinned entries may transiently exceed the bound (they cannot be
+// evicted); the excess drains as files close.
+func NewCache(capacity int64, policy Policy) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+		order:    list.New(),
+		policy:   policy,
+	}
+}
+
+// Acquire pins and returns the cached decompressed data for path. The
+// caller must Release it once per successful Acquire.
+func (c *Cache) Acquire(path string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[path]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	e.refs++
+	if c.policy == LRU {
+		c.order.MoveToBack(e.elem)
+	}
+	return e.data, true
+}
+
+// Insert adds decompressed data for path pinned once (refs=1) and returns
+// the canonical buffer (an existing entry wins races between two openers
+// decompressing the same file). The caller must Release it.
+func (c *Cache) Insert(path string, data []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[path]; ok {
+		// Another I/O thread decompressed this file first; share it.
+		e.refs++
+		c.hits++
+		return e.data
+	}
+	e := &cacheEntry{path: path, data: data, refs: 1}
+	e.elem = c.order.PushBack(e)
+	c.entries[path] = e
+	c.used += int64(len(data))
+	c.evictLocked()
+	return data
+}
+
+// Release unpins one reference. With the Immediate policy the entry is
+// dropped at refs==0; otherwise it stays until capacity pressure.
+func (c *Cache) Release(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[path]
+	if !ok || e.refs == 0 {
+		// Double release is a caller bug; tolerate it rather than
+		// corrupting the pool shared by all I/O threads.
+		return
+	}
+	e.refs--
+	if e.refs == 0 && c.policy == Immediate {
+		c.removeLocked(e)
+	}
+	if c.used > c.capacity {
+		c.evictLocked()
+	}
+}
+
+// evictLocked removes unpinned entries in policy order until within
+// capacity.
+func (c *Cache) evictLocked() {
+	el := c.order.Front()
+	for c.used > c.capacity && el != nil {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.refs == 0 { // never evict a file an open FD is reading
+			c.removeLocked(e)
+			c.evictions++
+		}
+		el = next
+	}
+}
+
+func (c *Cache) removeLocked(e *cacheEntry) {
+	c.order.Remove(e.elem)
+	delete(c.entries, e.path)
+	c.used -= int64(len(e.data))
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Used:      c.used,
+		Entries:   len(c.entries),
+	}
+}
+
+// pinned reports the number of entries with live references (test hook).
+func (c *Cache) pinned() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.refs > 0 {
+			n++
+		}
+	}
+	return n
+}

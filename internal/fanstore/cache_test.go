@@ -1,0 +1,202 @@
+package fanstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheAcquireInsertRelease(t *testing.T) {
+	c := NewCache(1<<20, FIFO)
+	if _, ok := c.Acquire("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	data := []byte("hello")
+	got := c.Insert("a", data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("Insert should return the buffer")
+	}
+	d2, ok := c.Acquire("a")
+	if !ok || !bytes.Equal(d2, data) {
+		t.Fatal("Acquire after Insert should hit")
+	}
+	c.Release("a")
+	c.Release("a")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheInsertRace(t *testing.T) {
+	// Two I/O threads decompress the same file; the second Insert must
+	// adopt the first buffer so both FDs share one entry (Fig. 4).
+	c := NewCache(1<<20, FIFO)
+	first := c.Insert("f", []byte("one"))
+	second := c.Insert("f", []byte("two"))
+	if !bytes.Equal(second, first) {
+		t.Fatal("second Insert must return the canonical buffer")
+	}
+	if c.pinned() != 1 {
+		t.Fatalf("pinned = %d, want 1 entry (with 2 refs)", c.pinned())
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(100, FIFO)
+	for i := 0; i < 10; i++ {
+		path := fmt.Sprintf("f%d", i)
+		c.Insert(path, make([]byte, 30))
+		c.Release(path)
+	}
+	st := c.Stats()
+	if st.Used > 100 {
+		t.Fatalf("used %d exceeds capacity", st.Used)
+	}
+	// FIFO: the survivors must be the most recently inserted files.
+	if _, ok := c.Acquire("f0"); ok {
+		t.Fatal("oldest entry should have been evicted first")
+	}
+	if _, ok := c.Acquire("f9"); !ok {
+		t.Fatal("newest entry should survive")
+	}
+	c.Release("f9")
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+}
+
+func TestCacheNeverEvictsPinned(t *testing.T) {
+	c := NewCache(100, FIFO)
+	c.Insert("pinned", make([]byte, 80)) // stays pinned
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("x%d", i)
+		c.Insert(p, make([]byte, 60))
+		c.Release(p)
+	}
+	if _, ok := c.Acquire("pinned"); !ok {
+		t.Fatal("pinned entry was evicted")
+	}
+	c.Release("pinned")
+	c.Release("pinned")
+}
+
+func TestCacheImmediatePolicy(t *testing.T) {
+	c := NewCache(1<<20, Immediate)
+	c.Insert("a", []byte("data"))
+	c.Release("a")
+	if _, ok := c.Acquire("a"); ok {
+		t.Fatal("immediate policy must drop at refs==0")
+	}
+	if st := c.Stats(); st.Used != 0 {
+		t.Fatalf("used = %d after immediate release", st.Used)
+	}
+}
+
+func TestCacheLRUPolicy(t *testing.T) {
+	c := NewCache(100, LRU)
+	c.Insert("a", make([]byte, 40))
+	c.Release("a")
+	c.Insert("b", make([]byte, 40))
+	c.Release("b")
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Acquire("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Release("a")
+	c.Insert("c", make([]byte, 40))
+	c.Release("c")
+	if _, ok := c.Acquire("b"); ok {
+		t.Fatal("LRU should have evicted b")
+	}
+	if _, ok := c.Acquire("a"); !ok {
+		t.Fatal("LRU should have kept a")
+	}
+	c.Release("a")
+}
+
+func TestCacheDoubleReleaseTolerated(t *testing.T) {
+	c := NewCache(1<<20, FIFO)
+	c.Insert("a", []byte("x"))
+	c.Release("a")
+	c.Release("a") // bug in caller: must not panic or corrupt
+	c.Release("nonexistent")
+	if st := c.Stats(); st.Entries > 1 {
+		t.Fatalf("stats corrupted: %+v", st)
+	}
+}
+
+// TestCacheInvariantsQuick property-tests the capacity invariant: after
+// any sequence of insert/acquire/release operations where every pin is
+// released, used never exceeds capacity.
+func TestCacheInvariantsQuick(t *testing.T) {
+	type op struct {
+		Key     uint8
+		Acquire bool
+	}
+	f := func(ops []op) bool {
+		c := NewCache(500, FIFO)
+		pins := make(map[string]int)
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%16)
+			if o.Acquire {
+				if _, ok := c.Acquire(key); ok {
+					pins[key]++
+				}
+			} else {
+				c.Insert(key, make([]byte, 100))
+				pins[key]++
+			}
+		}
+		for k, n := range pins {
+			for i := 0; i < n; i++ {
+				c.Release(k)
+			}
+		}
+		st := c.Stats()
+		return st.Used <= 500 && st.Used >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(10<<10, FIFO)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%20)
+				if data, ok := c.Acquire(key); ok {
+					if len(data) != 512 {
+						t.Errorf("corrupt entry for %s", key)
+					}
+					c.Release(key)
+				} else {
+					c.Insert(key, make([]byte, 512))
+					c.Release(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Used > 10<<10 {
+		t.Fatalf("capacity exceeded after quiesce: %+v", st)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{FIFO: "fifo", LRU: "lru", Immediate: "immediate"} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}

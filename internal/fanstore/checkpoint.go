@@ -1,0 +1,76 @@
+package fanstore
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// FanStore does not address fault tolerance explicitly (§V-E): DL
+// programs checkpoint to files named by epoch, and training resumes from
+// the newest checkpoint after a failure. This helper implements that
+// convention over the FS surface.
+
+// epochRE extracts the trailing epoch number from checkpoint names like
+// "model_epoch012.bin", "rank3-epoch7.ckpt" or "weights-12.bin".
+var epochRE = regexp.MustCompile(`(?:epoch[-_]?|-)(\d+)\D*$`)
+
+// LatestCheckpoint scans dir for epoch-numbered checkpoint files and
+// returns the path and epoch of the newest one. ok is false when the
+// directory holds no checkpoints (fresh start).
+func (n *Node) LatestCheckpoint(dir string) (path string, epoch int, ok bool, err error) {
+	entries, err := n.ReadDir(dir)
+	if err != nil {
+		if n.dirMissing(dir) {
+			return "", 0, false, nil // no checkpoints written yet
+		}
+		return "", 0, false, err
+	}
+	best := -1
+	for _, e := range entries {
+		if e.IsDir {
+			continue
+		}
+		m := epochRE.FindStringSubmatch(e.Name)
+		if m == nil {
+			continue
+		}
+		v, convErr := strconv.Atoi(m[1])
+		if convErr != nil {
+			continue
+		}
+		if v > best {
+			best = v
+			path = e.Name
+			if dir != "" {
+				path = dir + "/" + e.Name
+			}
+		}
+	}
+	if best < 0 {
+		return "", 0, false, nil
+	}
+	return path, best, true, nil
+}
+
+// dirMissing reports whether dir is absent (as opposed to present but
+// failing for another reason).
+func (n *Node) dirMissing(dir string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !n.dirs.isDir(cleanPath(dir))
+}
+
+// Resume loads the newest checkpoint's contents from dir, or ok=false
+// for a fresh start.
+func (n *Node) Resume(dir string) (data []byte, epoch int, ok bool, err error) {
+	path, epoch, ok, err := n.LatestCheckpoint(dir)
+	if err != nil || !ok {
+		return nil, 0, ok, err
+	}
+	data, err = n.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("fanstore: resume: %w", err)
+	}
+	return data, epoch, true, nil
+}

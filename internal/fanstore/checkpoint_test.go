@@ -1,0 +1,57 @@
+package fanstore
+
+import (
+	"testing"
+
+	"fanstore/internal/dataset"
+	"fanstore/internal/mpi"
+)
+
+func TestLatestCheckpoint(t *testing.T) {
+	bundle, _ := buildBundle(t, dataset.Language, 2, 1, 1<<10, nil)
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		node, err := Mount(c, bundle.Scatter, nil, Options{})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+
+		// Fresh start: no checkpoint directory at all.
+		if _, _, ok, err := node.LatestCheckpoint("ckpt"); ok || err != nil {
+			t.Errorf("fresh start: ok=%v err=%v", ok, err)
+		}
+		if _, _, ok, err := node.Resume("ckpt"); ok || err != nil {
+			t.Errorf("fresh resume: ok=%v err=%v", ok, err)
+		}
+
+		// Write checkpoints out of order, plus distractors.
+		for _, f := range []struct {
+			name, body string
+		}{
+			{"ckpt/model_epoch003.bin", "three"},
+			{"ckpt/model_epoch010.bin", "ten"},
+			{"ckpt/model_epoch007.bin", "seven"},
+			{"ckpt/training.log", "not a checkpoint"},
+			{"ckpt/samples-2.png", "gan sample"}, // epoch-like, smaller
+		} {
+			if err := node.WriteFile(f.name, []byte(f.body)); err != nil {
+				return err
+			}
+		}
+		path, epoch, ok, err := node.LatestCheckpoint("ckpt")
+		if err != nil || !ok {
+			t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+		}
+		if path != "ckpt/model_epoch010.bin" || epoch != 10 {
+			t.Fatalf("latest = %s (epoch %d)", path, epoch)
+		}
+		data, epoch, ok, err := node.Resume("ckpt")
+		if err != nil || !ok || string(data) != "ten" || epoch != 10 {
+			t.Fatalf("Resume = %q, %d, %v, %v", data, epoch, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package fanstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"fanstore/internal/mpi"
+)
+
+// Info is the stat() result surface (§IV-A).
+type Info struct {
+	Path  string
+	Size  int64
+	Mode  uint32
+	MTime int64
+	IsDir bool
+}
+
+// File is an open FanStore file descriptor. Read-mode files hold a pinned
+// reference into the decompressed cache; write-mode files buffer until
+// Close seals them (the multi-read/single-write model of §IV-A).
+type File struct {
+	node *Node
+	path string
+
+	mu       sync.Mutex
+	off      int64
+	data     []byte // read mode: pinned cache buffer
+	writable bool
+	wbuf     []byte
+	closed   bool
+}
+
+// Open opens an existing file for reading, decompressing it into the
+// cache if needed (Fig. 2). Concurrent opens of the same file share one
+// cache entry and bump its reference count (Fig. 4).
+func (n *Node) Open(path string) (*File, error) {
+	if n.closed.Load() {
+		return nil, ErrUnmounted
+	}
+	start := time.Now()
+	defer func() { n.openHist.Observe(time.Since(start)) }()
+	cp := cleanPath(path)
+	n.mu.RLock()
+	m, ok := n.meta[cp]
+	isDir := n.dirs.isDir(cp)
+	n.mu.RUnlock()
+	if !ok {
+		if isDir {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	data, err := n.openBytes(m)
+	if err != nil {
+		return nil, err
+	}
+	return &File{node: n, path: cp, data: data}, nil
+}
+
+// Create opens a new output file for writing. FanStore's restricted
+// write model allows each file to be written once, by one process; the
+// file becomes immutable at Close (§IV-A).
+func (n *Node) Create(path string) (*File, error) {
+	if n.closed.Load() {
+		return nil, ErrUnmounted
+	}
+	cp := cleanPath(path)
+	if cp == "" {
+		return nil, fmt.Errorf("%w: empty path", ErrNotExist)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.meta[cp]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	if _, ok := n.writes[cp]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	// Reserve the name so concurrent creators race safely.
+	n.writes[cp] = nil
+	return &File{node: n, path: cp, writable: true}, nil
+}
+
+// Read copies bytes from the decompressed cache region (Fig. 3).
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.writable {
+		return 0, ErrWriteOnly
+	}
+	if f.off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	c := copy(p, f.data[f.off:])
+	f.off += int64(c)
+	f.node.bytesRead.Add(int64(c))
+	return c, nil
+}
+
+// ReadAt implements random-access reads without moving the offset.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.writable {
+		return 0, ErrWriteOnly
+	}
+	if off < 0 || off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	c := copy(p, f.data[off:])
+	f.node.bytesRead.Add(int64(c))
+	if c < len(p) {
+		return c, io.EOF
+	}
+	return c, nil
+}
+
+// Lseek repositions the file offset (§IV-A's lseek).
+func (f *File) Lseek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		if f.writable {
+			base = int64(len(f.wbuf))
+		} else {
+			base = int64(len(f.data))
+		}
+	default:
+		return 0, fmt.Errorf("fanstore: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("fanstore: negative seek position %d", pos)
+	}
+	f.off = pos
+	return pos, nil
+}
+
+// Write appends to the output buffer. Writes are only valid on files
+// opened with Create and before Close.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	// Sparse writes via lseek past the end are zero-filled, as POSIX does.
+	if f.off > int64(len(f.wbuf)) {
+		f.wbuf = append(f.wbuf, make([]byte, f.off-int64(len(f.wbuf)))...)
+	}
+	n := copy(f.wbuf[f.off:], p)
+	if n < len(p) {
+		f.wbuf = append(f.wbuf, p[n:]...)
+	}
+	f.off += int64(len(p))
+	return len(p), nil
+}
+
+// Size returns the current logical size.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writable {
+		return int64(len(f.wbuf))
+	}
+	return int64(len(f.data))
+}
+
+// Close releases the cache pin (read mode) or seals the output file and
+// forwards its metadata to the responsible rank (write mode, Fig. 4 and
+// §V-D). A file cannot be updated after Close.
+func (f *File) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.closed = true
+	writable := f.writable
+	buf := f.wbuf
+	f.mu.Unlock()
+
+	if !writable {
+		f.node.cache.Release(f.path)
+		return nil
+	}
+	return f.node.seal(f.path, buf)
+}
+
+// seal commits a written file: dump the write-cache entry to the local
+// backend and forward the metadata record (§V-D, communication case 4).
+func (n *Node) seal(path string, data []byte) error {
+	if data == nil {
+		data = []byte{}
+	}
+	m := FileMeta{
+		Path:    path,
+		Size:    int64(len(data)),
+		Mode:    0o644,
+		Owner:   int32(n.comm.Rank()),
+		Written: true,
+	}
+	n.mu.Lock()
+	n.writes[path] = data
+	n.mu.Unlock()
+	n.addMeta(m)
+	home := n.metaHome(path)
+	if home == n.comm.Rank() {
+		return nil
+	}
+	return n.comm.Send(home, tagWriteMeta, encodeMetas([]FileMeta{m}))
+}
+
+// metaHome maps a written file's path to the rank responsible for its
+// metadata record.
+func (n *Node) metaHome(path string) int {
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return int(h.Sum32() % uint32(n.comm.Size()))
+}
+
+// Stat returns file attributes from the in-RAM table — no network or
+// shared-filesystem traffic (§IV-C2).
+func (n *Node) Stat(path string) (Info, error) {
+	cp := cleanPath(path)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if m, ok := n.meta[cp]; ok {
+		return Info{Path: cp, Size: m.Size, Mode: m.Mode, MTime: m.MTime}, nil
+	}
+	if n.dirs.isDir(cp) {
+		return Info{Path: cp, Mode: 0o755, IsDir: true}, nil
+	}
+	return Info{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+}
+
+// ReadDir lists a directory from the in-RAM index (§IV-C2's readdir).
+func (n *Node) ReadDir(dir string) ([]DirEntry, error) {
+	cp := cleanPath(dir)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if entries, ok := n.dirs.list(cp); ok {
+		return entries, nil
+	}
+	if _, ok := n.meta[cp]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotExist, dir)
+}
+
+// ReadFile is the convenience read-everything path used by training
+// loaders: open, read, close.
+func (n *Node) ReadFile(path string) ([]byte, error) {
+	f, err := n.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	n.bytesRead.Add(int64(len(out)))
+	return out, nil
+}
+
+// WriteFile writes a whole output file (checkpoints, logs, GAN samples —
+// §II-B3).
+func (n *Node) WriteFile(path string, data []byte) error {
+	f, err := n.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveWriteMeta accepts forwarded write metadata (§V-D).
+func (n *Node) serveWriteMeta() {
+	defer n.daemon.Done()
+	for {
+		data, _, err := n.comm.Recv(mpi.AnySource, tagWriteMeta)
+		if err != nil {
+			return
+		}
+		if len(data) == 0 {
+			return // poison pill
+		}
+		metas, err := decodeMetas(data)
+		if err != nil {
+			continue // a malformed frame must not kill the daemon
+		}
+		for i := range metas {
+			n.addMeta(metas[i])
+		}
+	}
+}

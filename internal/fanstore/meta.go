@@ -1,0 +1,179 @@
+package fanstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// FileMeta is the in-RAM metadata record for one file in the global
+// namespace. After the load-time Allgather every node holds the complete
+// table, so stat()/readdir() never touch the network or the shared
+// filesystem again (§IV-C1/2).
+type FileMeta struct {
+	Path         string
+	Size         int64 // uncompressed size
+	Mode         uint32
+	MTime        int64 // Unix nanoseconds
+	CRC32        uint32
+	CompressorID uint16
+	Owner        int32 // rank holding the compressed bytes
+	Written      bool  // produced by the write path, not the packed dataset
+}
+
+// encodeMetas serializes a metadata list for the Allgather exchange.
+func encodeMetas(metas []FileMeta) []byte {
+	size := 4
+	for i := range metas {
+		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1
+	}
+	out := make([]byte, 0, size)
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(metas)))
+	out = append(out, b[:4]...)
+	for i := range metas {
+		m := &metas[i]
+		binary.LittleEndian.PutUint16(b[:2], uint16(len(m.Path)))
+		out = append(out, b[:2]...)
+		out = append(out, m.Path...)
+		binary.LittleEndian.PutUint64(b[:], uint64(m.Size))
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint32(b[:4], m.Mode)
+		out = append(out, b[:4]...)
+		binary.LittleEndian.PutUint64(b[:], uint64(m.MTime))
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint32(b[:4], m.CRC32)
+		out = append(out, b[:4]...)
+		binary.LittleEndian.PutUint16(b[:2], m.CompressorID)
+		out = append(out, b[:2]...)
+		binary.LittleEndian.PutUint32(b[:4], uint32(m.Owner))
+		out = append(out, b[:4]...)
+		if m.Written {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func decodeMetas(src []byte) ([]FileMeta, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("fanstore: metadata frame truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	off := 4
+	// The declared count is untrusted; bound the preallocation by what
+	// the frame could physically hold.
+	const fixed = 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1
+	out := make([]FileMeta, 0, minInt(n, (len(src)-off)/fixed))
+	for i := 0; i < n; i++ {
+		if off+2 > len(src) {
+			return nil, fmt.Errorf("fanstore: metadata entry %d truncated", i)
+		}
+		pl := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if off+pl+fixed-2 > len(src) {
+			return nil, fmt.Errorf("fanstore: metadata entry %d truncated", i)
+		}
+		m := FileMeta{Path: string(src[off : off+pl])}
+		off += pl
+		m.Size = int64(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+		m.Mode = binary.LittleEndian.Uint32(src[off:])
+		off += 4
+		m.MTime = int64(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+		m.CRC32 = binary.LittleEndian.Uint32(src[off:])
+		off += 4
+		m.CompressorID = binary.LittleEndian.Uint16(src[off:])
+		off += 2
+		m.Owner = int32(binary.LittleEndian.Uint32(src[off:]))
+		off += 4
+		m.Written = src[off] == 1
+		off++
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DirEntry is one readdir() result.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	Size  int64
+}
+
+// dirIndex answers readdir() from RAM. Keys are clean directory paths
+// ("" is the root); values map child name to entry.
+type dirIndex struct {
+	dirs map[string]map[string]DirEntry
+}
+
+func newDirIndex() *dirIndex {
+	return &dirIndex{dirs: map[string]map[string]DirEntry{"": {}}}
+}
+
+// add indexes one file path, creating implicit parent directories.
+func (d *dirIndex) add(p string, size int64) {
+	p = cleanPath(p)
+	if p == "" {
+		return
+	}
+	dir, base := path.Split(p)
+	dir = strings.TrimSuffix(dir, "/")
+	d.ensureDir(dir)
+	d.dirs[dir][base] = DirEntry{Name: base, Size: size}
+}
+
+// ensureDir makes dir (and its ancestors) known, registering each as a
+// directory entry in its parent.
+func (d *dirIndex) ensureDir(dir string) {
+	if _, ok := d.dirs[dir]; ok {
+		return
+	}
+	d.dirs[dir] = make(map[string]DirEntry)
+	if dir == "" {
+		return
+	}
+	parent, base := path.Split(dir)
+	parent = strings.TrimSuffix(parent, "/")
+	d.ensureDir(parent)
+	d.dirs[parent][base] = DirEntry{Name: base, IsDir: true}
+}
+
+// list returns the sorted entries of dir, or ok=false if dir is unknown.
+func (d *dirIndex) list(dir string) ([]DirEntry, bool) {
+	m, ok := d.dirs[cleanPath(dir)]
+	if !ok {
+		return nil, false
+	}
+	out := make([]DirEntry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, true
+}
+
+// isDir reports whether dir exists in the namespace.
+func (d *dirIndex) isDir(dir string) bool {
+	_, ok := d.dirs[cleanPath(dir)]
+	return ok
+}
+
+// cleanPath normalizes a user path: no leading/trailing slashes, "." and
+// ".." resolved. The root is "".
+func cleanPath(p string) string {
+	p = path.Clean("/" + p)
+	return strings.TrimPrefix(p, "/")
+}

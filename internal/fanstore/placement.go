@@ -1,0 +1,113 @@
+package fanstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlanPlacement implements the §IV-C1 loading decision: given the
+// partition sizes and each node's available local storage, decide which
+// partitions every node loads. Each partition gets exactly one owner
+// (round-robin over nodes, largest partitions first, tightest fit), and
+// leftover capacity is filled with replicas of the ring predecessor's
+// partitions — "the more data served from local storage, the less
+// communication passes through the interconnect" (§V-D).
+//
+// The result is indexed by node: Own lists partition indices the node
+// owns (and announces); Replicas lists extra partition indices it serves
+// without owning.
+type Placement struct {
+	Own      [][]int
+	Replicas [][]int
+}
+
+// PlanPlacement fails when the partitions cannot fit the aggregate
+// capacity at all — the Fig. 1 infeasible region, where the caller must
+// add nodes or compress harder.
+func PlanPlacement(partSizes []int64, nodes int, capacity int64) (*Placement, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("fanstore: placement over %d nodes", nodes)
+	}
+	var total int64
+	for i, s := range partSizes {
+		if s < 0 {
+			return nil, fmt.Errorf("fanstore: partition %d has negative size", i)
+		}
+		if s > capacity {
+			return nil, fmt.Errorf("fanstore: partition %d (%d bytes) exceeds node capacity %d", i, s, capacity)
+		}
+		total += s
+	}
+	if total > capacity*int64(nodes) {
+		return nil, fmt.Errorf("fanstore: %d bytes of partitions exceed %d nodes x %d capacity (need %d more nodes or a higher compression ratio)",
+			total, nodes, capacity, (total+capacity-1)/capacity-int64(nodes))
+	}
+
+	p := &Placement{
+		Own:      make([][]int, nodes),
+		Replicas: make([][]int, nodes),
+	}
+	free := make([]int64, nodes)
+	for i := range free {
+		free[i] = capacity
+	}
+
+	// First-fit decreasing: largest partitions first, each to the node
+	// with the most free space (keeps load balanced).
+	order := make([]int, len(partSizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return partSizes[order[a]] > partSizes[order[b]] })
+	owner := make([]int, len(partSizes))
+	for _, pi := range order {
+		best := 0
+		for n := 1; n < nodes; n++ {
+			if free[n] > free[best] {
+				best = n
+			}
+		}
+		if free[best] < partSizes[pi] {
+			return nil, fmt.Errorf("fanstore: partition %d does not fit any node's remaining space", pi)
+		}
+		p.Own[best] = append(p.Own[best], pi)
+		owner[pi] = best
+		free[best] -= partSizes[pi]
+	}
+	for n := range p.Own {
+		sort.Ints(p.Own[n])
+	}
+
+	// Spare capacity: replicate the ring predecessor's partitions, in
+	// order, while they fit (the §V-D extra-partition copy).
+	for n := 0; n < nodes && nodes > 1; n++ {
+		prev := (n + nodes - 1) % nodes
+		for _, pi := range p.Own[prev] {
+			if free[n] >= partSizes[pi] {
+				p.Replicas[n] = append(p.Replicas[n], pi)
+				free[n] -= partSizes[pi]
+			}
+		}
+	}
+	return p, nil
+}
+
+// NodesNeeded returns the minimum node count that can hold the
+// partitions, assuming perfect packing — the N >= |T|/M bound of Fig. 1.
+func NodesNeeded(partSizes []int64, capacity int64) (int, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("fanstore: capacity %d", capacity)
+	}
+	var total int64
+	for i, s := range partSizes {
+		if s > capacity {
+			return 0, fmt.Errorf("fanstore: partition %d exceeds capacity", i)
+		}
+		total += s
+	}
+	n := int((total + capacity - 1) / capacity)
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}

@@ -1,0 +1,232 @@
+package fanstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fanstore/internal/dataset"
+	"fanstore/internal/mpi"
+)
+
+func TestPlanPlacementBasics(t *testing.T) {
+	sizes := []int64{40, 30, 20, 10}
+	p, err := PlanPlacement(sizes, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every partition owned exactly once.
+	seen := map[int]int{}
+	for n := range p.Own {
+		var used int64
+		for _, pi := range p.Own[n] {
+			seen[pi]++
+			used += sizes[pi]
+		}
+		for _, pi := range p.Replicas[n] {
+			used += sizes[pi]
+		}
+		if used > 60 {
+			t.Fatalf("node %d over capacity: %d", n, used)
+		}
+	}
+	if len(seen) != len(sizes) {
+		t.Fatalf("owned %d of %d partitions", len(seen), len(sizes))
+	}
+	for pi, c := range seen {
+		if c != 1 {
+			t.Fatalf("partition %d owned %d times", pi, c)
+		}
+	}
+}
+
+func TestPlanPlacementReplication(t *testing.T) {
+	// Plenty of slack: every node should replicate its predecessor.
+	sizes := []int64{10, 10, 10, 10}
+	p, err := PlanPlacement(sizes, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range p.Replicas {
+		if len(p.Replicas[n]) == 0 {
+			t.Fatalf("node %d has slack but no replicas", n)
+		}
+		prev := (n + 3) % 4
+		owned := map[int]bool{}
+		for _, pi := range p.Own[prev] {
+			owned[pi] = true
+		}
+		for _, pi := range p.Replicas[n] {
+			if !owned[pi] {
+				t.Fatalf("node %d replicated %d, not owned by ring predecessor", n, pi)
+			}
+		}
+	}
+	// No slack: no replicas.
+	tight, err := PlanPlacement([]int64{50, 50}, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Replicas[0])+len(tight.Replicas[1]) != 0 {
+		t.Fatal("replicas placed without slack")
+	}
+}
+
+func TestPlanPlacementErrors(t *testing.T) {
+	if _, err := PlanPlacement([]int64{10}, 0, 100); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := PlanPlacement([]int64{200}, 4, 100); err == nil {
+		t.Error("oversized partition accepted")
+	}
+	if _, err := PlanPlacement([]int64{90, 90, 90}, 2, 100); err == nil {
+		t.Error("aggregate overflow accepted")
+	}
+	if _, err := PlanPlacement([]int64{-1}, 1, 100); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestPlanPlacementQuick(t *testing.T) {
+	// Property: whenever planning succeeds, each partition is owned once
+	// and no node exceeds capacity including replicas.
+	f := func(raw []uint16, nodes8 uint8) bool {
+		nodes := int(nodes8%8) + 1
+		const capacity = 1 << 16
+		sizes := make([]int64, len(raw))
+		for i, r := range raw {
+			sizes[i] = int64(r)
+		}
+		p, err := PlanPlacement(sizes, nodes, capacity)
+		if err != nil {
+			return true // rejection is always allowed
+		}
+		seen := make(map[int]bool)
+		for n := 0; n < nodes; n++ {
+			var used int64
+			for _, pi := range p.Own[n] {
+				if seen[pi] {
+					return false
+				}
+				seen[pi] = true
+				used += sizes[pi]
+			}
+			for _, pi := range p.Replicas[n] {
+				used += sizes[pi]
+			}
+			if used > capacity {
+				return false
+			}
+		}
+		return len(seen) == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodesNeeded(t *testing.T) {
+	// The §I example: 140 GB over 60 GB nodes needs 3.
+	sizes := make([]int64, 14)
+	for i := range sizes {
+		sizes[i] = 10 << 30
+	}
+	n, err := NodesNeeded(sizes, 60<<30)
+	if err != nil || n != 3 {
+		t.Fatalf("NodesNeeded = %d, %v", n, err)
+	}
+	if _, err := NodesNeeded([]int64{10}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if n, _ := NodesNeeded(nil, 100); n != 1 {
+		t.Errorf("empty set needs %d nodes", n)
+	}
+}
+
+func TestPlacementBalances(t *testing.T) {
+	// First-fit decreasing keeps nodes within 2x of each other on random
+	// workloads with adequate headroom.
+	rng := rand.New(rand.NewSource(6))
+	sizes := make([]int64, 64)
+	var total int64
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(1000) + 1)
+		total += sizes[i]
+	}
+	const nodes = 8
+	p, err := PlanPlacement(sizes, nodes, total) // generous capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	var min, max int64 = 1 << 62, 0
+	for n := 0; n < nodes; n++ {
+		var used int64
+		for _, pi := range p.Own[n] {
+			used += sizes[pi]
+		}
+		if used < min {
+			min = used
+		}
+		if used > max {
+			max = used
+		}
+	}
+	if min == 0 || max > 2*min {
+		t.Fatalf("imbalanced ownership: min=%d max=%d", min, max)
+	}
+}
+
+// TestPlacementEndToEnd drives the full §IV-C1 flow: plan placement for
+// unequal partitions over fewer nodes than partitions, mount each rank
+// with its owned partitions plus planned replicas, and verify the global
+// namespace and replica locality.
+func TestPlacementEndToEnd(t *testing.T) {
+	const parts, ranks = 6, 3
+	bundle, want := buildBundle(t, dataset.Language, 18, parts, 4<<10, nil)
+	sizes := make([]int64, parts)
+	for i, blob := range bundle.Scatter {
+		sizes[i] = int64(len(blob))
+	}
+	capacity := 3 * sizes[0] // room for two partitions plus a replica
+	plan, err := PlanPlacement(sizes, ranks, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(ranks, func(c *mpi.Comm) error {
+		var own, reps [][]byte
+		for _, pi := range plan.Own[c.Rank()] {
+			own = append(own, bundle.Scatter[pi])
+		}
+		for _, pi := range plan.Replicas[c.Rank()] {
+			reps = append(reps, bundle.Scatter[pi])
+		}
+		node, err := Mount(c, own, nil, Options{Replicas: reps})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		if node.NumFiles() != len(want) {
+			return fmt.Errorf("rank %d sees %d files, want %d", c.Rank(), node.NumFiles(), len(want))
+		}
+		for path, data := range want {
+			got, err := node.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("rank %d: %s: %w", c.Rank(), path, err)
+			}
+			if !bytes.Equal(got, data) {
+				return fmt.Errorf("rank %d: %s mismatch", c.Rank(), path)
+			}
+		}
+		// Replicated partitions must have served locally.
+		st := node.Stats()
+		if len(reps) > 0 && st.LocalOpens == 0 {
+			return fmt.Errorf("rank %d: replicas unused", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

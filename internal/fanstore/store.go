@@ -1,0 +1,555 @@
+// Package fanstore implements the paper's primary contribution: a
+// distributed, compressed, POSIX-style object store for deep-learning
+// training data (§IV, §V).
+//
+// Each node (MPI rank) runs a Node: it loads its assigned compressed
+// partitions into node-local storage, exchanges metadata with all peers
+// via Allgather so the full namespace is resolvable from RAM, and serves
+// its partitions' file bytes to peers over the interconnect. File opens
+// decompress into a reference-counted FIFO cache; reads are memory copies
+// out of that cache. The write path implements the paper's multi-read /
+// single-write model: an output file is written once, sealed on close,
+// and its metadata forwarded to the owner rank.
+//
+// The paper's glibc function interception (LD_PRELOAD + trampoline, §V-C)
+// is replaced by the equivalent user-space API surface on Node/File:
+// Open/Read/Lseek/Write/Close/Stat/ReadDir — the same minimal POSIX
+// interface of Listing 1, served entirely in user space.
+package fanstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fanstore/internal/codec"
+	"fanstore/internal/metrics"
+	"fanstore/internal/mpi"
+	"fanstore/internal/pack"
+)
+
+// Message tags used by the FanStore daemon protocol.
+const (
+	tagFetch     = 1000 // fetch request: [respTag u32][path]
+	tagWriteMeta = 1001 // write metadata forward: encoded []FileMeta
+	tagRing      = 1002 // ring replication of extra partitions
+	tagRespBase  = 1 << 20
+)
+
+// Errors returned by the FS surface.
+var (
+	ErrNotExist   = errors.New("fanstore: file does not exist")
+	ErrIsDir      = errors.New("fanstore: is a directory")
+	ErrNotDir     = errors.New("fanstore: not a directory")
+	ErrExist      = errors.New("fanstore: file already exists")
+	ErrClosed     = errors.New("fanstore: file already closed")
+	ErrReadOnly   = errors.New("fanstore: file not open for writing")
+	ErrWriteOnly  = errors.New("fanstore: file not open for reading")
+	ErrUnmounted  = errors.New("fanstore: node unmounted")
+	ErrRemoteGone = errors.New("fanstore: remote fetch failed")
+)
+
+// localFile is one compressed file held on this node — either in RAM
+// (aliasing the partition blob) or on the local-disk backend (§IV-C1:
+// "if local disks (e.g., SSD) are the back end, the compressed data
+// files are stored in the local file system").
+type localFile struct {
+	compressorID uint16
+	data         []byte // RAM backend: compressed bytes
+	spill        *os.File
+	off, size    int64 // disk backend: payload location in the spill file
+}
+
+// load returns the compressed bytes, reading from disk when spilled.
+func (lf *localFile) load() ([]byte, error) {
+	if lf.spill == nil {
+		return lf.data, nil
+	}
+	buf := make([]byte, lf.size)
+	if _, err := lf.spill.ReadAt(buf, lf.off); err != nil {
+		return nil, fmt.Errorf("fanstore: spill read: %w", err)
+	}
+	return buf, nil
+}
+
+// Options configures a Node.
+type Options struct {
+	// CacheBytes bounds the decompressed data cache (default 256 MiB).
+	CacheBytes int64
+	// CachePolicy selects the replacement policy (default FIFO).
+	CachePolicy Policy
+	// Replicas are extra partition blobs this node serves locally
+	// without owning them (typically obtained via RingReplicate when the
+	// node has spare local storage, §V-D). They shorten the data path
+	// for files another rank announces.
+	Replicas [][]byte
+	// SpillDir selects the local-disk backend: partition blobs are
+	// written under this directory and compressed payloads are read back
+	// on demand, freeing RAM for the training program (the paper's SSD
+	// backend). Empty means the RAM backend.
+	SpillDir string
+}
+
+// RingReplicate passes each rank's partition blobs to its ring neighbor
+// and returns the blobs received from the predecessor. The paper uses
+// this to place additional partition copies without re-reading the shared
+// filesystem: with roughly equal partition sizes the transfers are
+// contention-free (§V-D). Collective: every rank must call it.
+func RingReplicate(comm *mpi.Comm, partitions [][]byte) ([][]byte, error) {
+	next := comm.Neighbor()
+	prev := (comm.Rank() + comm.Size() - 1) % comm.Size()
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(partitions)))
+	if err := comm.Send(next, tagRing, cnt[:]); err != nil {
+		return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+	}
+	for _, p := range partitions {
+		if err := comm.Send(next, tagRing, p); err != nil {
+			return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+		}
+	}
+	hdr, _, err := comm.Recv(prev, tagRing)
+	if err != nil {
+		return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+	}
+	if len(hdr) != 4 {
+		return nil, fmt.Errorf("fanstore: ring replicate: bad count frame")
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		blob, _, err := comm.Recv(prev, tagRing)
+		if err != nil {
+			return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+		}
+		out = append(out, blob)
+	}
+	return out, nil
+}
+
+// Stats counts data-path events for tests and benchmarks.
+type Stats struct {
+	LocalOpens   int64
+	RemoteOpens  int64
+	Decompresses int64
+	BytesRead    int64
+	RemoteBytes  int64
+	Cache        CacheStats
+}
+
+// Node is one rank's FanStore instance: metadata table, local compressed
+// backend, decompressed cache, and the daemon servicing peers.
+type Node struct {
+	comm  *mpi.Comm
+	cache *Cache
+
+	mu    sync.RWMutex
+	meta  map[string]*FileMeta
+	dirs  *dirIndex
+	local map[string]localFile // this rank's compressed objects
+	// writes holds sealed output files (uncompressed, write-once).
+	writes map[string][]byte
+
+	spillDir string
+	spills   []*os.File
+
+	// inflight deduplicates concurrent opens of the same not-yet-cached
+	// file: one I/O thread fetches and decompresses, the rest wait and
+	// share the cache entry (Fig. 4's refcount, extended to the fetch).
+	inflightMu sync.Mutex
+	inflight   map[string]*fetchCall
+
+	respTag atomic.Int64
+	closed  atomic.Bool
+	daemon  sync.WaitGroup
+
+	localOpens, remoteOpens, decompresses atomic.Int64
+	bytesRead, remoteBytes                atomic.Int64
+
+	openHist  metrics.Histogram // whole open(): lookup + fetch + decompress
+	fetchHist metrics.Histogram // remote fetch round trips only
+}
+
+// Metrics exposes the node's latency histograms: open() end-to-end and
+// the remote-fetch round trip. The bimodal open() distribution (local
+// decompress vs. remote fetch) is the signature of a healthy FanStore
+// deployment.
+type Metrics struct {
+	Open  metrics.Snapshot
+	Fetch metrics.Snapshot
+}
+
+// Metrics snapshots the node's latency histograms.
+func (n *Node) Metrics() Metrics {
+	return Metrics{Open: n.openHist.Snapshot(), Fetch: n.fetchHist.Snapshot()}
+}
+
+// Mount loads this rank's partitions (plus an optional broadcast
+// partition replicated on every rank), exchanges metadata with all peers,
+// and starts the daemon. Every rank of the communicator must call Mount
+// collectively with its own partitions.
+func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node, error) {
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 256 << 20
+	}
+	n := &Node{
+		comm:     comm,
+		cache:    NewCache(opts.CacheBytes, opts.CachePolicy),
+		meta:     make(map[string]*FileMeta),
+		dirs:     newDirIndex(),
+		local:    make(map[string]localFile),
+		writes:   make(map[string][]byte),
+		spillDir: opts.SpillDir,
+		inflight: make(map[string]*fetchCall),
+	}
+
+	// Load assigned partitions into the local backend (§IV-C1).
+	var localMetas []FileMeta
+	for _, blob := range partitions {
+		metas, err := n.loadPartition(blob, true)
+		if err != nil {
+			return nil, err
+		}
+		localMetas = append(localMetas, metas...)
+	}
+	// Replica partitions are served locally but announced by their
+	// owners, so they are loaded without announcement.
+	for _, blob := range opts.Replicas {
+		if _, err := n.loadPartition(blob, false); err != nil {
+			return nil, err
+		}
+	}
+	// The broadcast partition (validation data) is local on every rank
+	// but owned by rank 0 for metadata purposes; it is not re-announced
+	// by every rank to keep the Allgather frame linear in dataset size.
+	if broadcast != nil {
+		bmetas, err := n.loadPartition(broadcast, comm.Rank() == 0)
+		if err != nil {
+			return nil, err
+		}
+		if comm.Rank() == 0 {
+			localMetas = append(localMetas, bmetas...)
+		}
+	}
+
+	// Construct the global metadata view (§IV-C1): one Allgather, then
+	// all metadata traffic is served from RAM.
+	frames, err := comm.Allgather(encodeMetas(localMetas))
+	if err != nil {
+		return nil, fmt.Errorf("fanstore: metadata allgather: %w", err)
+	}
+	for r, frame := range frames {
+		metas, err := decodeMetas(frame)
+		if err != nil {
+			return nil, fmt.Errorf("fanstore: rank %d metadata: %w", r, err)
+		}
+		for i := range metas {
+			n.addMeta(metas[i])
+		}
+	}
+
+	n.daemon.Add(2)
+	go n.serve()
+	go n.serveWriteMeta()
+	return n, nil
+}
+
+// loadPartition parses one partition blob into the local backend (RAM,
+// or the spill file when the disk backend is selected) and returns the
+// metadata records this rank should announce (if announce).
+func (n *Node) loadPartition(blob []byte, announce bool) ([]FileMeta, error) {
+	p, err := pack.Parse(blob)
+	if err != nil {
+		return nil, err
+	}
+	var spill *os.File
+	if n.spillDir != "" {
+		if err := os.MkdirAll(n.spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fanstore: spill dir: %w", err)
+		}
+		name := filepath.Join(n.spillDir, fmt.Sprintf("rank%04d-part%04d.fst", n.comm.Rank(), len(n.spills)))
+		if err := os.WriteFile(name, blob, 0o644); err != nil {
+			return nil, fmt.Errorf("fanstore: spill write: %w", err)
+		}
+		if spill, err = os.Open(name); err != nil {
+			return nil, fmt.Errorf("fanstore: spill open: %w", err)
+		}
+		n.spills = append(n.spills, spill)
+	}
+	var metas []FileMeta
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		cp := cleanPath(e.Path)
+		if spill != nil {
+			n.local[cp] = localFile{
+				compressorID: e.CompressorID,
+				spill:        spill, off: e.Offset, size: int64(len(e.Data)),
+			}
+		} else {
+			n.local[cp] = localFile{compressorID: e.CompressorID, data: e.Data}
+		}
+		if announce {
+			metas = append(metas, FileMeta{
+				Path:         cp,
+				Size:         e.Stat.Size,
+				Mode:         e.Stat.Mode,
+				MTime:        e.Stat.MTime,
+				CRC32:        e.Stat.CRC32,
+				CompressorID: e.CompressorID,
+				Owner:        int32(n.comm.Rank()),
+			})
+		}
+	}
+	return metas, nil
+}
+
+// addMeta inserts one record into the namespace (last writer wins, which
+// only matters for the broadcast partition seen via rank 0).
+func (n *Node) addMeta(m FileMeta) {
+	n.mu.Lock()
+	cp := cleanPath(m.Path)
+	m.Path = cp
+	n.meta[cp] = &m
+	n.dirs.add(cp, m.Size)
+	n.mu.Unlock()
+}
+
+// serve is the FanStore daemon loop (§V-A): it answers fetch requests for
+// this rank's compressed objects and accepts forwarded write metadata.
+func (n *Node) serve() {
+	defer n.daemon.Done()
+	for {
+		data, src, err := n.comm.Recv(mpi.AnySource, tagFetch)
+		if err != nil {
+			return // world aborted or unmounted
+		}
+		if len(data) == 0 {
+			return // poison pill from Close
+		}
+		respTag := int(binary.LittleEndian.Uint32(data))
+		path := string(data[4:])
+		n.answerFetch(src, respTag, path)
+	}
+}
+
+// answerFetch replies with [u16 compressorID][compressed bytes], or an
+// empty frame when the object is unknown (the requester surfaces
+// ErrRemoteGone).
+func (n *Node) answerFetch(src, respTag int, path string) {
+	n.mu.RLock()
+	lf, ok := n.local[path]
+	var wdata []byte
+	if !ok {
+		// A nil entry is only a Create reservation, not a sealed file.
+		wdata, ok = n.writes[path]
+		ok = ok && wdata != nil
+	}
+	n.mu.RUnlock()
+	if !ok {
+		_ = n.comm.Send(src, respTag, nil)
+		return
+	}
+	var resp []byte
+	if wdata != nil {
+		// Output files are stored uncompressed; frame them as "store".
+		comp, err := codec.MustGet("store").Codec.Compress(nil, wdata)
+		if err != nil {
+			_ = n.comm.Send(src, respTag, nil)
+			return
+		}
+		resp = make([]byte, 2, 2+len(comp))
+		binary.LittleEndian.PutUint16(resp, codec.StoreID)
+		resp = append(resp, comp...)
+	} else {
+		data, err := lf.load()
+		if err != nil {
+			_ = n.comm.Send(src, respTag, nil)
+			return
+		}
+		resp = make([]byte, 2, 2+len(data))
+		binary.LittleEndian.PutUint16(resp, lf.compressorID)
+		resp = append(resp, data...)
+	}
+	_ = n.comm.Send(src, respTag, resp)
+}
+
+// fetchRemote retrieves the compressed object for path from its owner
+// over the interconnect (§IV-C2) and returns (compressorID, compressed).
+func (n *Node) fetchRemote(owner int, path string) (uint16, []byte, error) {
+	start := time.Now()
+	defer func() { n.fetchHist.Observe(time.Since(start)) }()
+	respTag := tagRespBase + int(n.respTag.Add(1))
+	req := make([]byte, 4, 4+len(path))
+	binary.LittleEndian.PutUint32(req, uint32(respTag))
+	req = append(req, path...)
+	if err := n.comm.Send(owner, tagFetch, req); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, err)
+	}
+	resp, _, err := n.comm.Recv(owner, respTag)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, err)
+	}
+	if len(resp) < 2 {
+		return 0, nil, fmt.Errorf("%w: owner %d has no %q", ErrRemoteGone, owner, path)
+	}
+	n.remoteBytes.Add(int64(len(resp)))
+	return binary.LittleEndian.Uint16(resp), resp[2:], nil
+}
+
+// decompress turns a compressed object into file bytes, validating size
+// and checksum against the metadata record.
+func (n *Node) decompress(m *FileMeta, compressorID uint16, comp []byte) ([]byte, error) {
+	cfg, ok := codec.ByID(compressorID)
+	if !ok {
+		return nil, fmt.Errorf("fanstore: %s: unknown compressor %d", m.Path, compressorID)
+	}
+	out, err := cfg.Codec.Decompress(make([]byte, 0, m.Size), comp)
+	if err != nil {
+		return nil, fmt.Errorf("fanstore: %s: %w", m.Path, err)
+	}
+	if int64(len(out)) != m.Size {
+		return nil, fmt.Errorf("fanstore: %s: decompressed %d bytes, metadata says %d", m.Path, len(out), m.Size)
+	}
+	n.decompresses.Add(1)
+	return out, nil
+}
+
+// fetchCall is one in-flight produce operation shared by concurrent
+// openers of the same file.
+type fetchCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// open produces the pinned decompressed bytes for a metadata record,
+// following Fig. 2: cache, then local backend, then remote fetch.
+// Concurrent opens of the same uncached file share one fetch.
+func (n *Node) openBytes(m *FileMeta) ([]byte, error) {
+	for {
+		if data, ok := n.cache.Acquire(m.Path); ok {
+			return data, nil
+		}
+		n.inflightMu.Lock()
+		if call, ok := n.inflight[m.Path]; ok {
+			n.inflightMu.Unlock()
+			<-call.done
+			if call.err != nil {
+				return nil, call.err
+			}
+			// The leader holds a pin; Acquire shares it. If the entry
+			// was already evicted (tiny cache), loop and refetch.
+			if data, ok := n.cache.Acquire(m.Path); ok {
+				return data, nil
+			}
+			continue
+		}
+		call := &fetchCall{done: make(chan struct{})}
+		n.inflight[m.Path] = call
+		n.inflightMu.Unlock()
+
+		data, err := n.produceBytes(m)
+		call.data, call.err = data, err
+		n.inflightMu.Lock()
+		delete(n.inflight, m.Path)
+		n.inflightMu.Unlock()
+		close(call.done)
+		return data, err
+	}
+}
+
+// produceBytes performs the actual Fig. 2 data path for one file.
+func (n *Node) produceBytes(m *FileMeta) ([]byte, error) {
+	n.mu.RLock()
+	lf, local := n.local[m.Path]
+	wdata, written := n.writes[m.Path]
+	n.mu.RUnlock()
+	switch {
+	case written:
+		n.localOpens.Add(1)
+		return n.cache.Insert(m.Path, wdata), nil
+	case local:
+		n.localOpens.Add(1)
+		// Uncompressed RAM-backend objects are served zero-copy from the
+		// partition blob: no decompression, no cache footprint (the blob
+		// is already resident node-local storage).
+		if lf.data != nil {
+			if payload, ok := codec.Passthrough(lf.compressorID, lf.data); ok {
+				return payload, nil
+			}
+		}
+		comp, err := lf.load()
+		if err != nil {
+			return nil, err
+		}
+		data, err := n.decompress(m, lf.compressorID, comp)
+		if err != nil {
+			return nil, err
+		}
+		return n.cache.Insert(m.Path, data), nil
+	default:
+		n.remoteOpens.Add(1)
+		id, comp, err := n.fetchRemote(int(m.Owner), m.Path)
+		if err != nil {
+			return nil, err
+		}
+		data, err := n.decompress(m, id, comp)
+		if err != nil {
+			return nil, err
+		}
+		return n.cache.Insert(m.Path, data), nil
+	}
+}
+
+// Close shuts the daemon down. It must be called collectively after all
+// ranks are done with the namespace (a barrier inside ensures no peer
+// still needs this rank's objects).
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	if err := n.comm.Barrier(); err == nil {
+		// Poison pills unblock the daemons' Recvs.
+		_ = n.comm.Send(n.comm.Rank(), tagFetch, nil)
+		_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
+	}
+	n.daemon.Wait()
+	for _, f := range n.spills {
+		f.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the node's data-path counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		LocalOpens:   n.localOpens.Load(),
+		RemoteOpens:  n.remoteOpens.Load(),
+		Decompresses: n.decompresses.Load(),
+		BytesRead:    n.bytesRead.Load(),
+		RemoteBytes:  n.remoteBytes.Load(),
+		Cache:        n.cache.Stats(),
+	}
+}
+
+// Rank returns the rank this node runs on.
+func (n *Node) Rank() int { return n.comm.Rank() }
+
+// NumFiles reports the number of files in the global namespace.
+func (n *Node) NumFiles() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.meta)
+}
+
+// LocalFiles reports how many objects this rank holds locally.
+func (n *Node) LocalFiles() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.local)
+}

@@ -1,0 +1,89 @@
+package fsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTable3Bands checks the calibrated profiles reproduce Table III's
+// relative ordering and magnitude bands at the paper's four file sizes.
+func TestTable3Bands(t *testing.T) {
+	sizes := []int64{128 << 10, 512 << 10, 2 << 20, 8 << 20}
+	lustre := DefaultLustre.Device()
+	for _, size := range sizes {
+		fs := FanStoreDev.FilesPerSec(size)
+		ssd := SSD.FilesPerSec(size)
+		fuse := FUSEDev.FilesPerSec(size)
+		lus := lustre.FilesPerSec(size)
+		// Ordering: SSD >= FanStore > FUSE > Lustre.
+		if !(ssd >= fs && fs > fuse && fuse > lus) {
+			t.Fatalf("size %d: ordering broken: ssd=%.0f fanstore=%.0f fuse=%.0f lustre=%.0f",
+				size, ssd, fs, fuse, lus)
+		}
+		// FanStore achieves 71-99%% of raw SSD (§VII-C).
+		if frac := fs / ssd; frac < 0.65 || frac > 1.0 {
+			t.Fatalf("size %d: FanStore/SSD = %.2f outside the 71-99%% band", size, frac)
+		}
+		// FanStore is 2.9-4.4x FUSE.
+		if r := fs / fuse; r < 2.0 || r > 6.0 {
+			t.Fatalf("size %d: FanStore/FUSE = %.1fx outside band", size, r)
+		}
+		// FanStore is 4.0-64.7x Lustre.
+		if r := fs / lus; r < 3.0 || r > 80.0 {
+			t.Fatalf("size %d: FanStore/Lustre = %.1fx outside band", size, r)
+		}
+	}
+	// Absolute anchor points from Table III (within 35% of the paper).
+	anchor := func(got, want float64) bool { return got > want*0.65 && got < want*1.35 }
+	if got := FanStoreDev.FilesPerSec(128 << 10); !anchor(got, 28248) {
+		t.Errorf("FanStore@128KB = %.0f files/s, paper 28248", got)
+	}
+	if got := SSD.FilesPerSec(8 << 20); !anchor(got, 678) {
+		t.Errorf("SSD@8MB = %.0f files/s, paper 678", got)
+	}
+	if got := FUSEDev.FilesPerSec(2 << 20); !anchor(got, 738) {
+		t.Errorf("FUSE@2MB = %.0f files/s, paper 738", got)
+	}
+}
+
+func TestReadTimeMonotonic(t *testing.T) {
+	devs := []Device{SSD, FanStoreDev, FUSEDev, RAMDisk, DefaultLustre.Device()}
+	for _, d := range devs {
+		prev := time.Duration(0)
+		for _, size := range []int64{0, 1 << 10, 128 << 10, 1 << 20, 64 << 20} {
+			got := d.ReadTime(size)
+			if got < prev {
+				t.Fatalf("%s: ReadTime not monotonic at %d", d.Name, size)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestLustreContention(t *testing.T) {
+	light := Lustre{RPC: 500 * time.Microsecond, MDSOpsPerSec: 20000, BandwidthMBps: 1200, Clients: 1}
+	heavy := light
+	heavy.Clients = 512 * 96 // 512 nodes x 96 I/O threads (§II-B1)
+	if heavy.Device().ReadTime(128<<10) <= light.Device().ReadTime(128<<10) {
+		t.Fatal("client contention must slow Lustre reads")
+	}
+	// The §VII-F metadata storm: 96 threads/node x 512 nodes enumerating
+	// ImageNet (1.3M stats + 2002 readdirs each) must exceed an hour.
+	storm := light.MetadataStormTime(512*96/4, 1_300_000, 2002) // one enumerating thread per process
+	if storm < time.Hour {
+		t.Fatalf("512-node metadata storm = %v, paper observed > 1 hour", storm)
+	}
+	// A single node's enumeration stays tolerable (minutes, not hours).
+	single := light.MetadataStormTime(24, 1_300_000, 2002)
+	if single > time.Hour {
+		t.Fatalf("single-node enumeration = %v, too slow", single)
+	}
+}
+
+func TestRAMDiskFasterThanSSD(t *testing.T) {
+	for _, size := range []int64{4 << 10, 1 << 20} {
+		if RAMDisk.ReadTime(size) >= SSD.ReadTime(size) {
+			t.Fatalf("RAM disk should beat SSD at %d bytes", size)
+		}
+	}
+}

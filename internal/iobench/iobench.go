@@ -1,0 +1,215 @@
+// Package iobench is the I/O benchmark harness behind Table III, Table VI
+// and Fig. 6: modeled read rates for the device profiles (the paper's
+// physical SSD / FUSE / Lustre hardware, substituted per DESIGN.md), and
+// live measurements of this implementation's FanStore read path and of
+// the TFRecord baseline.
+package iobench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fanstore/internal/fanstore"
+	"fanstore/internal/fsim"
+	"fanstore/internal/tfrecord"
+)
+
+// Row is one (solution, file size) cell of Table III.
+type Row struct {
+	Solution    string
+	FileSize    int64
+	FilesPerSec float64
+}
+
+// Table3Sizes are the file sizes of Table III.
+var Table3Sizes = []int64{128 << 10, 512 << 10, 2 << 20, 8 << 20}
+
+// Table3 evaluates the four POSIX-compliant solutions at the given sizes
+// using the calibrated device models.
+func Table3(sizes []int64) []Row {
+	lustre := fsim.DefaultLustre.Device()
+	devices := []fsim.Device{fsim.FanStoreDev, fsim.FUSEDev, fsim.SSD, lustre}
+	var rows []Row
+	for _, d := range devices {
+		for _, s := range sizes {
+			rows = append(rows, Row{Solution: d.Name, FileSize: s, FilesPerSec: d.FilesPerSec(s)})
+		}
+	}
+	return rows
+}
+
+// Result is a live throughput measurement.
+type Result struct {
+	FilesPerSec float64
+	MBPerSec    float64
+	Files       int
+	Bytes       int64
+	Elapsed     time.Duration
+}
+
+func result(files int, byteCount int64, elapsed time.Duration) Result {
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	return Result{
+		FilesPerSec: float64(files) / sec,
+		MBPerSec:    float64(byteCount) / 1e6 / sec,
+		Files:       files,
+		Bytes:       byteCount,
+		Elapsed:     elapsed,
+	}
+}
+
+// MeasureNode times repeated whole-file open/read/close cycles of the
+// given paths through a mounted FanStore node, reading into a reusable
+// buffer exactly as the paper's C benchmark does — the live counterpart
+// of the FanStore rows in Tables III and VI.
+func MeasureNode(node *fanstore.Node, paths []string, rounds int) (Result, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var files int
+	var byteCount int64
+	var buf []byte
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, p := range paths {
+			f, err := node.Open(p)
+			if err != nil {
+				return Result{}, fmt.Errorf("iobench: %s: %w", p, err)
+			}
+			if size := f.Size(); int64(len(buf)) < size {
+				buf = make([]byte, size)
+			}
+			n, err := f.Read(buf)
+			if err != nil {
+				f.Close()
+				return Result{}, fmt.Errorf("iobench: %s: %w", p, err)
+			}
+			if err := f.Close(); err != nil {
+				return Result{}, fmt.Errorf("iobench: %s: %w", p, err)
+			}
+			files++
+			byteCount += int64(n)
+		}
+	}
+	return result(files, byteCount, time.Since(start)), nil
+}
+
+// MeasureTFExamples times the full TFRecord input pipeline — sequential
+// scan, CRC verification, tf.Example protobuf parse, and image-bytes
+// extraction — the baseline side of Fig. 6.
+func MeasureTFExamples(blob []byte, rounds int) (Result, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var files int
+	var byteCount int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		rd := tfrecord.NewReader(bytes.NewReader(blob))
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			ex, err := tfrecord.UnmarshalExample(rec)
+			if err != nil {
+				return Result{}, err
+			}
+			files++
+			byteCount += int64(len(ex.Image))
+		}
+	}
+	return result(files, byteCount, time.Since(start)), nil
+}
+
+// MeasureTFRecord times sequential scans over a raw TFRecord blob (no
+// example parse). Every scan re-parses framing and re-verifies both CRCs
+// per record, as TensorFlow's reader does.
+func MeasureTFRecord(blob []byte, rounds int) (Result, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var files int
+	var byteCount int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		rd := tfrecord.NewReader(bytes.NewReader(blob))
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			files++
+			byteCount += int64(len(rec))
+		}
+	}
+	return result(files, byteCount, time.Since(start)), nil
+}
+
+// MeasureMetadataBurst replays the §II-B1 training-start pattern against
+// a mounted node: `threads` concurrent enumerators each readdir() the
+// whole tree and stat() every file (the workload that melts a shared
+// filesystem's metadata server — 96 threads per 4-node job in the
+// paper's example). Returns aggregate metadata operations per second;
+// FanStore serves them all from RAM.
+func MeasureMetadataBurst(node *fanstore.Node, threads int) (Result, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var walk func(dir string) error
+			walk = func(dir string) error {
+				entries, err := node.ReadDir(dir)
+				if err != nil {
+					return err
+				}
+				ops.Add(1)
+				for _, e := range entries {
+					child := e.Name
+					if dir != "" {
+						child = dir + "/" + e.Name
+					}
+					if e.IsDir {
+						if err := walk(child); err != nil {
+							return err
+						}
+						continue
+					}
+					if _, err := node.Stat(child); err != nil {
+						return err
+					}
+					ops.Add(1)
+				}
+				return nil
+			}
+			if err := walk(""); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return Result{}, err
+	}
+	return result(int(ops.Load()), 0, time.Since(start)), nil
+}

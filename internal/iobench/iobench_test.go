@@ -1,0 +1,132 @@
+package iobench
+
+import (
+	"testing"
+
+	"fanstore/internal/dataset"
+	"fanstore/internal/fanstore"
+	"fanstore/internal/mpi"
+	"fanstore/internal/pack"
+	"fanstore/internal/tfrecord"
+)
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3(Table3Sizes)
+	if len(rows) != 16 {
+		t.Fatalf("got %d rows, want 4 solutions x 4 sizes", len(rows))
+	}
+	perSize := map[int64]map[string]float64{}
+	for _, r := range rows {
+		if r.FilesPerSec <= 0 {
+			t.Fatalf("row %+v nonpositive", r)
+		}
+		if perSize[r.FileSize] == nil {
+			perSize[r.FileSize] = map[string]float64{}
+		}
+		perSize[r.FileSize][r.Solution] = r.FilesPerSec
+	}
+	for size, m := range perSize {
+		if !(m["SSD"] >= m["FanStore"] && m["FanStore"] > m["SSD-fuse"] && m["SSD-fuse"] > m["Lustre"]) {
+			t.Fatalf("size %d ordering: %+v", size, m)
+		}
+	}
+}
+
+func TestMeasureNodeAndTFRecord(t *testing.T) {
+	g := dataset.Generator{Kind: dataset.ImageNet, Seed: 4, Size: 32 << 10}
+	files := make([]pack.InputFile, 16)
+	var payloads [][]byte
+	var paths []string
+	for i := range files {
+		f := g.File(i, len(files))
+		files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+		payloads = append(payloads, f.Data)
+		paths = append(paths, f.Path)
+	}
+	bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 1, Compressor: "lzsse8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		node, err := fanstore.Mount(c, bundle.Scatter, nil, fanstore.Options{})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		res, err := MeasureNode(node, paths, 3)
+		if err != nil {
+			return err
+		}
+		if res.Files != 48 || res.FilesPerSec <= 0 || res.MBPerSec <= 0 {
+			t.Errorf("node result %+v", res)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := tfrecord.Marshal(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureTFRecord(blob, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 48 || res.FilesPerSec <= 0 {
+		t.Fatalf("tfrecord result %+v", res)
+	}
+}
+
+func TestMeasureMetadataBurst(t *testing.T) {
+	g := dataset.Generator{Kind: dataset.ImageNet, Seed: 6, Size: 2 << 10}
+	files := make([]pack.InputFile, 40)
+	for i := range files {
+		f := g.File(i, len(files))
+		files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+	}
+	bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 1, Compressor: "memcpy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mpi.Run(1, func(c *mpi.Comm) error {
+		node, err := fanstore.Mount(c, bundle.Scatter, nil, fanstore.Options{})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		res, err := MeasureMetadataBurst(node, 8)
+		if err != nil {
+			return err
+		}
+		// 8 threads x (40 stats + >= 1 readdir) minimum.
+		if res.Files < 8*41 {
+			t.Errorf("burst performed %d ops, want >= %d", res.Files, 8*41)
+		}
+		if res.FilesPerSec <= 0 {
+			t.Errorf("nonpositive ops/s")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureTFExamples(t *testing.T) {
+	blob, err := tfrecord.MarshalDataset([]string{"a", "b"}, [][]byte{make([]byte, 100), make([]byte, 200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureTFExamples(blob, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 4 || res.Bytes != 600 {
+		t.Fatalf("result %+v", res)
+	}
+	if _, err := MeasureTFExamples([]byte{1, 2, 3}, 1); err == nil {
+		t.Fatal("corrupt blob accepted")
+	}
+}

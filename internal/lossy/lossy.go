@@ -1,0 +1,78 @@
+// Package lossy implements error-bounded lossy compression for float32
+// arrays — the §VIII future-work direction of the paper ("lossy
+// compressors such as SZ and ZFP as examined in the CODAR project").
+// Scientific training data (the tokamak diagnostics, microscopy stacks)
+// often tolerates bounded distortion for far higher ratios than lossless
+// coding reaches.
+//
+// Two compressors are provided, one per family:
+//
+//   - SZ: prediction + error-bounded quantization (the SZ design):
+//     each value is predicted from its predecessor, the residual is
+//     quantized to a multiple of 2*ErrBound, and values the quantizer
+//     cannot represent within bound are stored verbatim. The absolute
+//     error of every reconstructed value is <= ErrBound, by construction
+//     and by property test.
+//
+//   - ZFP: fixed-rate block transform coding (the ZFP design): blocks of
+//     16 values share a block-floating-point exponent, pass through a
+//     reversible integer lifting transform, and keep the top Rate bits
+//     per value via bit-plane truncation. The rate — and therefore the
+//     compressed size — is exact and chosen up front, which is what makes
+//     ZFP attractive for fixed-budget burst buffers.
+//
+// Both produce self-describing streams (header + payload) and reject
+// corrupt input with errors rather than panics, matching the codec
+// package's contract.
+package lossy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors shared by the lossy codecs.
+var (
+	// ErrCorrupt reports a malformed stream.
+	ErrCorrupt = errors.New("lossy: corrupt stream")
+	// ErrUnsupported reports input the codec cannot bound (e.g. NaN for
+	// the fixed-rate transform).
+	ErrUnsupported = errors.New("lossy: unsupported value")
+)
+
+// FloatCodec compresses float32 arrays with bounded loss.
+type FloatCodec interface {
+	// Name identifies the configuration, e.g. "sz(1e-3)" or "zfp-12".
+	Name() string
+	// Compress appends the coded form of src to dst.
+	Compress(dst []byte, src []float32) ([]byte, error)
+	// Decompress appends the reconstructed values to dst.
+	Decompress(dst []float32, src []byte) ([]float32, error)
+}
+
+// Ratio is a convenience for reporting: raw bytes over coded bytes.
+func Ratio(values int, coded int) float64 {
+	if coded == 0 {
+		return 0
+	}
+	return float64(values*4) / float64(coded)
+}
+
+// maxAbsDiff returns the largest absolute difference between two equal
+// length float slices (test and harness helper).
+func maxAbsDiff(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("lossy: length mismatch %d != %d", len(a), len(b))
+	}
+	m := 0.0
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}

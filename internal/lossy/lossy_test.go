@@ -1,0 +1,326 @@
+package lossy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fanstore/internal/dataset"
+)
+
+// signals returns test float arrays with distinct statistics.
+func signals() map[string][]float32 {
+	rng := rand.New(rand.NewSource(2))
+	smooth := make([]float32, 4096)
+	v := 100.0
+	for i := range smooth {
+		v += rng.Float64()*0.2 - 0.1
+		smooth[i] = float32(v)
+	}
+	noisy := make([]float32, 4096)
+	for i := range noisy {
+		noisy[i] = float32(rng.NormFloat64() * 1000)
+	}
+	tiny := []float32{1e-30, -1e-30, 2e-30, 0}
+	big := []float32{1e30, -3e30, 2.5e30, 1e29}
+	mixed := make([]float32, 512)
+	for i := range mixed {
+		mixed[i] = float32(math.Sin(float64(i)/10) * math.Pow(10, float64(i%12)-6))
+	}
+	return map[string][]float32{
+		"smooth":   smooth,
+		"noisy":    noisy,
+		"tiny":     tiny,
+		"big":      big,
+		"mixed":    mixed,
+		"zeros":    make([]float32, 100),
+		"empty":    {},
+		"single":   {42.5},
+		"fifteen":  smooth[:15], // partial block
+		"negative": {-1, -2, -3, -4, -5},
+	}
+}
+
+func TestSZBoundHolds(t *testing.T) {
+	for _, bound := range []float64{1e-6, 1e-3, 0.1, 10} {
+		sz := SZ{ErrBound: bound}
+		for name, src := range signals() {
+			coded, err := sz.Compress(nil, src)
+			if err != nil {
+				t.Fatalf("%s/%g: %v", name, bound, err)
+			}
+			got, err := sz.Decompress(nil, coded)
+			if err != nil {
+				t.Fatalf("%s/%g: %v", name, bound, err)
+			}
+			if len(got) != len(src) {
+				t.Fatalf("%s/%g: %d values, want %d", name, bound, len(got), len(src))
+			}
+			d, err := maxAbsDiff(src, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > bound {
+				t.Fatalf("%s/%g: max error %g exceeds bound", name, bound, d)
+			}
+		}
+	}
+}
+
+func TestSZBoundQuick(t *testing.T) {
+	sz := SZ{ErrBound: 0.01}
+	f := func(raw []uint32) bool {
+		src := make([]float32, len(raw))
+		for i, b := range raw {
+			src[i] = math.Float32frombits(b) // includes NaN/Inf/denormals
+		}
+		coded, err := sz.Compress(nil, src)
+		if err != nil {
+			return false
+		}
+		got, err := sz.Decompress(nil, coded)
+		if err != nil || len(got) != len(src) {
+			return false
+		}
+		for i := range src {
+			o, g := src[i], got[i]
+			if math.IsNaN(float64(o)) {
+				if !math.IsNaN(float64(g)) {
+					return false // non-finite values must round-trip exactly
+				}
+				continue
+			}
+			if math.IsInf(float64(o), 0) {
+				if o != g {
+					return false
+				}
+				continue
+			}
+			d := math.Abs(float64(o) - float64(g))
+			if d > 0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSZCompressesSmoothData(t *testing.T) {
+	// Tokamak-like diagnostics under a loose bound should beat lossless
+	// ratios by a wide margin — the motivation for §VIII's future work.
+	g := dataset.Generator{Kind: dataset.Tokamak, Seed: 3, Size: 64 << 10}
+	raw := g.Bytes(0)
+	src := make([]float32, len(raw)/4)
+	for i := range src {
+		bits := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+		src[i] = math.Float32frombits(bits)
+	}
+	// Some header bytes decode as junk floats; SZ must still cope.
+	sz := SZ{ErrBound: 0.5} // half an ADC count
+	coded, err := sz.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Ratio(len(src), len(coded)); r < 3 {
+		t.Fatalf("SZ ratio %.2f on diagnostics, want >= 3", r)
+	}
+	got, err := sz.Decompress(nil, coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if math.IsNaN(float64(src[i])) || math.IsInf(float64(src[i]), 0) {
+			continue
+		}
+		if d := math.Abs(float64(src[i]) - float64(got[i])); d > 0.5 {
+			t.Fatalf("value %d error %g", i, d)
+		}
+	}
+}
+
+func TestSZInvalidInputs(t *testing.T) {
+	if _, err := (SZ{ErrBound: 0}).Compress(nil, []float32{1}); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	if _, err := (SZ{ErrBound: math.Inf(1)}).Compress(nil, []float32{1}); err == nil {
+		t.Fatal("infinite bound accepted")
+	}
+	sz := SZ{ErrBound: 1}
+	coded, _ := sz.Compress(nil, []float32{1, 2, 3})
+	for _, cut := range []int{0, 5, 11, len(coded) - 1} {
+		if cut >= len(coded) {
+			continue
+		}
+		if _, err := sz.Decompress(nil, coded[:cut]); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+}
+
+func TestZFPRoundTripAccuracy(t *testing.T) {
+	for name, src := range signals() {
+		if name == "mixed" {
+			continue // 12-decade dynamic range within blocks: tested below
+		}
+		prev := math.Inf(1)
+		for _, rate := range []int{6, 10, 16, 24, 29} {
+			z := ZFP{Rate: rate}
+			coded, err := z.Compress(nil, src)
+			if err != nil {
+				t.Fatalf("%s/rate%d: %v", name, rate, err)
+			}
+			got, err := z.Decompress(nil, coded)
+			if err != nil {
+				t.Fatalf("%s/rate%d: %v", name, rate, err)
+			}
+			if len(got) != len(src) {
+				t.Fatalf("%s/rate%d: %d values, want %d", name, rate, len(got), len(src))
+			}
+			maxAbs := 0.0
+			for _, v := range src {
+				if a := math.Abs(float64(v)); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			d, err := maxAbsDiff(src, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Error envelope: blockMax * 2^(11-rate) — per-plane
+			// truncation (2^(29-rate) zigzag units) times the inverse
+			// transform's worst-case amplification (~2^5.3), through the
+			// block scale. Derivation in zfp.go; verified here.
+			if envelope := maxAbs * math.Pow(2, float64(11-rate)); d > envelope && maxAbs > 0 {
+				t.Fatalf("%s/rate%d: error %g > envelope %g", name, rate, d, envelope)
+			}
+			// Higher rate never hurts (weakly monotone within tolerance).
+			if d > prev*1.01+1e-30 {
+				t.Fatalf("%s/rate%d: error %g worse than lower-rate %g", name, rate, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestZFPFixedRateSize(t *testing.T) {
+	z := ZFP{Rate: 12}
+	for _, n := range []int{0, 1, 15, 16, 17, 1000} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(i) + 0.5
+		}
+		coded, err := z.Compress(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coded) != z.CompressedLen(n) {
+			t.Fatalf("n=%d: coded %d bytes, CompressedLen says %d", n, len(coded), z.CompressedLen(n))
+		}
+	}
+	// Rate 12 on float32: ratio 64/(2+24) = 2.46 per full block.
+	src := make([]float32, 1600)
+	for i := range src {
+		src[i] = float32(math.Sin(float64(i) / 7))
+	}
+	coded, _ := z.Compress(nil, src)
+	if r := Ratio(len(src), len(coded)); r < 2.3 || r > 2.6 {
+		t.Fatalf("fixed-rate ratio %.2f, want ~2.46", r)
+	}
+}
+
+func TestZFPRejectsNonFinite(t *testing.T) {
+	z := ZFP{Rate: 12}
+	for _, bad := range []float32{float32(math.NaN()), float32(math.Inf(1))} {
+		if _, err := z.Compress(nil, []float32{1, bad, 3}); err == nil {
+			t.Fatalf("non-finite %v accepted", bad)
+		}
+	}
+	if _, err := (ZFP{Rate: 1}).Compress(nil, []float32{1}); err == nil {
+		t.Fatal("rate 1 accepted")
+	}
+	if _, err := (ZFP{Rate: 30}).Compress(nil, []float32{1}); err == nil {
+		t.Fatal("rate 30 accepted")
+	}
+}
+
+func TestZFPCorrupt(t *testing.T) {
+	z := ZFP{Rate: 8}
+	src := make([]float32, 64)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	coded, err := z.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 6, len(coded) - 1} {
+		if _, err := z.Decompress(nil, coded[:cut]); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+	mut := append([]byte(nil), coded...)
+	mut[4] = 99 // invalid rate
+	if _, err := z.Decompress(nil, mut); err == nil {
+		t.Fatal("invalid rate accepted")
+	}
+}
+
+func TestZFPTransformExactlyInvertible(t *testing.T) {
+	f := func(vals [zfpBlock]int32) bool {
+		// Bound inputs to the pre-transform range.
+		var c [zfpBlock]int32
+		for i, v := range vals {
+			c[i] = v % (1 << zfpScaleExp)
+		}
+		orig := c
+		zfpForward(&c)
+		zfpInverse(&c)
+		return c == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossyBeatsLosslessOnSmoothData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := make([]float32, 8192)
+	v := 0.0
+	for i := range src {
+		v += rng.Float64()*0.01 - 0.005
+		src[i] = float32(v)
+	}
+	szCoded, err := SZ{ErrBound: 1e-4}.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zfpCoded, err := ZFP{Rate: 8}.Compress(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Ratio(len(src), len(szCoded)); r < 2.5 {
+		t.Fatalf("SZ ratio %.2f on smooth floats", r)
+	}
+	if r := Ratio(len(src), len(zfpCoded)); r < 3.2 {
+		t.Fatalf("ZFP ratio %.2f at rate 8", r)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if (SZ{ErrBound: 0.5}).Bound() != 0.5 {
+		t.Fatal("Bound accessor")
+	}
+	if (SZ{ErrBound: 0.5}).Name() != "sz(0.5)" {
+		t.Fatal("SZ name")
+	}
+	if (ZFP{Rate: 9}).Name() != "zfp-9" {
+		t.Fatal("ZFP name")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("zero coded size")
+	}
+}

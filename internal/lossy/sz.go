@@ -1,0 +1,131 @@
+package lossy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SZ is a prediction + error-bounded-quantization compressor in the mold
+// of SZ [Di & Cappello, IPDPS'16]. Every reconstructed value differs from
+// the original by at most ErrBound (absolute).
+//
+// Coding model: the predictor is the previously reconstructed value (the
+// 1-D Lorenzo predictor). The residual is quantized to
+// q = round((v - pred) / (2*ErrBound)); reconstructions use
+// pred + q*2*ErrBound, so the reconstruction error is <= ErrBound. Values
+// whose quantum index overflows the code range — or non-finite values —
+// are stored verbatim as "unpredictable" literals (exact, hence trivially
+// within bound).
+//
+// Stream layout: u32 count, f64 bound, then a byte-oriented token stream:
+// zigzag-varint quantum codes biased by +1, with 0 escaping a 4-byte raw
+// literal. The token stream is further squeezed by the caller if desired
+// (FanStore packs it like any other object); SZ itself stays single-pass.
+type SZ struct {
+	// ErrBound is the absolute error bound (> 0).
+	ErrBound float64
+}
+
+const szMaxQuantum = 1 << 28 // beyond this the residual is stored raw
+
+func (s SZ) Name() string { return fmt.Sprintf("sz(%g)", s.ErrBound) }
+
+// Compress appends the coded stream to dst.
+func (s SZ) Compress(dst []byte, src []float32) ([]byte, error) {
+	if !(s.ErrBound > 0) || math.IsInf(s.ErrBound, 0) {
+		return dst, fmt.Errorf("lossy: sz error bound %v", s.ErrBound)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(src)))
+	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(s.ErrBound))
+	dst = append(dst, hdr[:]...)
+
+	quantum := 2 * s.ErrBound
+	pred := 0.0 // decoder starts from the same implicit zero
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range src {
+		fv := float64(v)
+		code := int64(0)
+		ok := false
+		if !math.IsNaN(fv) && !math.IsInf(fv, 0) {
+			q := math.Round((fv - pred) / quantum)
+			if q >= -szMaxQuantum && q <= szMaxQuantum {
+				// Round the reconstruction through float32 exactly as the
+				// decoder will, so the bound holds on what callers read.
+				r32 := float32(pred + q*quantum)
+				if d := fv - float64(r32); d <= s.ErrBound && d >= -s.ErrBound {
+					code = int64(q)
+					pred = float64(r32)
+					ok = true
+				}
+			}
+		}
+		if ok {
+			// Zigzag, biased by 1 so that 0 remains the literal escape.
+			z := uint64(code<<1) ^ uint64(code>>63)
+			n := binary.PutUvarint(buf[:], z+1)
+			dst = append(dst, buf[:n]...)
+		} else {
+			dst = append(dst, 0)
+			bits := math.Float32bits(v)
+			dst = append(dst, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+			pred = float64(v)
+			if math.IsNaN(pred) || math.IsInf(pred, 0) {
+				pred = 0 // keep the predictor finite, mirrored by the decoder
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Decompress appends the reconstructed values to dst.
+func (s SZ) Decompress(dst []float32, src []byte) ([]float32, error) {
+	if len(src) < 12 {
+		return dst, fmt.Errorf("%w: sz header truncated", ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(src[:4]))
+	bound := math.Float64frombits(binary.LittleEndian.Uint64(src[4:12]))
+	if !(bound > 0) || math.IsInf(bound, 0) {
+		return dst, fmt.Errorf("%w: sz bound %v", ErrCorrupt, bound)
+	}
+	if count > len(src)-12 { // every value takes at least one byte
+		return dst, fmt.Errorf("%w: sz declares %d values in %d bytes", ErrCorrupt, count, len(src)-12)
+	}
+	quantum := 2 * bound
+	pred := 0.0
+	pos := 12
+	for i := 0; i < count; i++ {
+		if pos >= len(src) {
+			return dst, fmt.Errorf("%w: sz stream truncated at value %d", ErrCorrupt, i)
+		}
+		if src[pos] == 0 { // literal escape
+			if pos+5 > len(src) {
+				return dst, fmt.Errorf("%w: sz literal truncated", ErrCorrupt)
+			}
+			bits := binary.LittleEndian.Uint32(src[pos+1 : pos+5])
+			v := math.Float32frombits(bits)
+			dst = append(dst, v)
+			pred = float64(v)
+			if math.IsNaN(pred) || math.IsInf(pred, 0) {
+				pred = 0
+			}
+			pos += 5
+			continue
+		}
+		z, n := binary.Uvarint(src[pos:])
+		if n <= 0 {
+			return dst, fmt.Errorf("%w: sz bad varint at value %d", ErrCorrupt, i)
+		}
+		pos += n
+		z-- // undo the literal-escape bias
+		code := int64(z>>1) ^ -int64(z&1)
+		v := float32(pred + float64(code)*quantum)
+		pred = float64(v)
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// Bound returns the codec's absolute error bound.
+func (s SZ) Bound() float64 { return s.ErrBound }

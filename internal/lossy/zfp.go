@@ -1,0 +1,212 @@
+package lossy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ZFP is a fixed-rate block-transform compressor in the mold of ZFP
+// [Lindstrom, TVCG'14]: values are processed in blocks of 16, aligned to
+// a shared block-floating-point exponent, decorrelated by a reversible
+// integer lifting (Haar) transform, and truncated to the top Rate bit
+// planes per value. The compressed size is exactly
+// 5 + ceil(n/16)*(2 + 2*Rate) bytes — chosen up front, which is the
+// property that makes fixed-rate coding attractive for sizing burst
+// buffer partitions (all-zero blocks shrink to their 2-byte header, so
+// the figure is an exact ceiling).
+//
+// The reconstruction error scales as blockMax * 2^-Rate (each dropped
+// plane halves precision); the property tests pin an empirical envelope.
+// Non-finite values are rejected with ErrUnsupported: a shared-exponent
+// transform cannot bound them.
+type ZFP struct {
+	// Rate is the retained bit planes per value, 2..29 (the transformed
+	// coefficients carry at most 29 significant zigzag bits).
+	Rate int
+}
+
+const (
+	zfpBlock    = 16
+	zfpScaleExp = 26 // fixed-point scale: |value| <= 2^26 pre-transform
+	// The Haar lifting keeps |coefficients| <= 2^27, so zigzag codes fit
+	// in 29 bits; planes start there rather than at bit 31.
+	zfpTopBit  = 28
+	zfpZeroExp = -32768
+)
+
+func (z ZFP) Name() string { return fmt.Sprintf("zfp-%d", z.Rate) }
+
+func (z ZFP) valid() error {
+	if z.Rate < 2 || z.Rate > 29 {
+		return fmt.Errorf("lossy: zfp rate %d outside [2,29]", z.Rate)
+	}
+	return nil
+}
+
+// CompressedLen reports the coded size ceiling for n values (met exactly
+// unless blocks are entirely zero).
+func (z ZFP) CompressedLen(n int) int {
+	blocks := (n + zfpBlock - 1) / zfpBlock
+	return 5 + blocks*(2+2*z.Rate)
+}
+
+// Compress appends the coded stream to dst.
+func (z ZFP) Compress(dst []byte, src []float32) ([]byte, error) {
+	if err := z.valid(); err != nil {
+		return dst, err
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(src)))
+	hdr[4] = byte(z.Rate)
+	dst = append(dst, hdr[:]...)
+
+	var block [zfpBlock]float64
+	for start := 0; start < len(src); start += zfpBlock {
+		n := len(src) - start
+		if n > zfpBlock {
+			n = zfpBlock
+		}
+		maxAbs := 0.0
+		for i := 0; i < zfpBlock; i++ {
+			v := 0.0
+			if i < n {
+				v = float64(src[start+i])
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return dst, fmt.Errorf("%w: non-finite value at %d", ErrUnsupported, start+i)
+				}
+			} else {
+				v = float64(src[start+n-1]) // pad with the last value
+			}
+			block[i] = v
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			ze := int16(zfpZeroExp)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(ze))
+			continue
+		}
+		_, exp := math.Frexp(maxAbs)
+		scale := math.Ldexp(1, zfpScaleExp-exp)
+		var coef [zfpBlock]int32
+		for i, v := range block {
+			coef[i] = int32(math.Round(v * scale))
+		}
+		zfpForward(&coef)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(int16(exp)))
+		dst = zfpEncodePlanes(dst, &coef, z.Rate)
+	}
+	return dst, nil
+}
+
+// Decompress appends the reconstructed values to dst.
+func (z ZFP) Decompress(dst []float32, src []byte) ([]float32, error) {
+	if len(src) < 5 {
+		return dst, fmt.Errorf("%w: zfp header truncated", ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(src[:4]))
+	rate := int(src[4])
+	if rate < 2 || rate > 29 {
+		return dst, fmt.Errorf("%w: zfp rate %d", ErrCorrupt, rate)
+	}
+	pos := 5
+	var coef [zfpBlock]int32
+	for start := 0; start < count; start += zfpBlock {
+		if pos+2 > len(src) {
+			return dst, fmt.Errorf("%w: zfp block header truncated", ErrCorrupt)
+		}
+		exp := int(int16(binary.LittleEndian.Uint16(src[pos:])))
+		pos += 2
+		n := count - start
+		if n > zfpBlock {
+			n = zfpBlock
+		}
+		if exp == zfpZeroExp {
+			for i := 0; i < n; i++ {
+				dst = append(dst, 0)
+			}
+			// A zero block carries no planes.
+			continue
+		}
+		if pos+2*rate > len(src) {
+			return dst, fmt.Errorf("%w: zfp planes truncated", ErrCorrupt)
+		}
+		zfpDecodePlanes(src[pos:pos+2*rate], &coef, rate)
+		pos += 2 * rate
+		zfpInverse(&coef)
+		scale := math.Ldexp(1, exp-zfpScaleExp)
+		for i := 0; i < n; i++ {
+			dst = append(dst, float32(float64(coef[i])*scale))
+		}
+	}
+	return dst, nil
+}
+
+// zfpForward applies 4 levels of the reversible integer Haar lifting:
+// for each pair (a, b): d = a - b, s = b + (d >> 1). The s-coefficients
+// recurse; the transform is exactly invertible in integers.
+func zfpForward(c *[zfpBlock]int32) {
+	for span := 1; span < zfpBlock; span *= 2 {
+		for i := 0; i+span < zfpBlock; i += 2 * span {
+			a, b := c[i], c[i+span]
+			d := a - b
+			s := b + (d >> 1)
+			c[i], c[i+span] = s, d
+		}
+	}
+}
+
+func zfpInverse(c *[zfpBlock]int32) {
+	for span := zfpBlock / 2; span >= 1; span /= 2 {
+		for i := 0; i+span < zfpBlock; i += 2 * span {
+			s, d := c[i], c[i+span]
+			b := s - (d >> 1)
+			a := b + d
+			c[i], c[i+span] = a, b
+		}
+	}
+}
+
+// Negabinary (base -2) representation: unlike zigzag, dropping the low b
+// bits of a negabinary code perturbs the value by less than 2^b — with no
+// sign flips — which is what makes bit-plane truncation safe. This is the
+// same choice the real ZFP makes.
+const negaMask = 0xAAAAAAAA
+
+func toNega(i int32) uint32   { return (uint32(i) + negaMask) ^ negaMask }
+func fromNega(u uint32) int32 { return int32((u ^ negaMask) - negaMask) }
+
+// zfpEncodePlanes negabinary-codes the coefficients and writes the top
+// `rate` bit planes, most significant first, 16 bits (one per
+// coefficient) each.
+func zfpEncodePlanes(dst []byte, c *[zfpBlock]int32, rate int) []byte {
+	var zz [zfpBlock]uint32
+	for i, v := range c {
+		zz[i] = toNega(v)
+	}
+	for p := 0; p < rate; p++ {
+		bit := uint(zfpTopBit - p)
+		var word uint16
+		for i := 0; i < zfpBlock; i++ {
+			word |= uint16(zz[i]>>bit&1) << uint(i)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, word)
+	}
+	return dst
+}
+
+func zfpDecodePlanes(src []byte, c *[zfpBlock]int32, rate int) {
+	var zz [zfpBlock]uint32
+	for p := 0; p < rate; p++ {
+		bit := uint(zfpTopBit - p)
+		word := binary.LittleEndian.Uint16(src[2*p:])
+		for i := 0; i < zfpBlock; i++ {
+			zz[i] |= uint32(word>>uint(i)&1) << bit
+		}
+	}
+	for i, z := range zz {
+		c[i] = fromNega(z)
+	}
+}

@@ -1,0 +1,172 @@
+// Package metrics provides lock-light latency histograms for FanStore's
+// hot paths. The paper's evaluation reports throughput distributions
+// (files/s at several file sizes, Tables III/VI); per-operation
+// histograms are how a deployment verifies it is seeing the same
+// behaviour — e.g. that open() latency is bimodal (local decompress vs.
+// remote fetch) with the expected mode weights.
+//
+// Histogram uses power-of-two buckets from 1 us to ~1 hour: recording is
+// a single atomic increment, safe for the many concurrent I/O threads of
+// a training process (§II-B1), and quantile queries are approximate to
+// within a factor of two (bucket resolution), which is ample for
+// bottleneck attribution.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers 1 us .. 2^31 us (~36 min) plus an overflow bucket.
+const numBuckets = 33
+
+// Histogram is a fixed-bucket latency histogram. The zero value is ready
+// to use and must not be copied after first use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index: bucket i holds samples in
+// [2^(i-1), 2^i) microseconds, bucket 0 holds sub-microsecond samples.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i >= numBuckets-1 {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sum.Add(d.Microseconds())
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Time runs f and records its duration.
+func (h *Histogram) Time(f func()) {
+	start := time.Now()
+	f()
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean latency (zero with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1),
+// accurate to the bucket resolution (a factor of two).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// Snapshot is a point-in-time copy for reporting.
+type Snapshot struct {
+	Count   int64
+	Mean    time.Duration
+	P50     time.Duration
+	P99     time.Duration
+	Max     time.Duration // upper bound of the highest non-empty bucket
+	Buckets [numBuckets]int64
+}
+
+// Snapshot captures the histogram's current state. Concurrent Observes
+// may land between field reads; totals remain self-consistent enough for
+// reporting.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count: h.count.Load(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		if s.Buckets[i] > 0 {
+			s.Max = bucketUpper(i)
+		}
+	}
+	return s
+}
+
+// String renders a compact summary line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v max<=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// Bars renders an ASCII bucket chart of the non-empty range (for CLI
+// diagnostics).
+func (s Snapshot) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max int64
+	lo, hi := -1, -1
+	for i, c := range s.Buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if lo < 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := int(s.Buckets[i] * int64(width) / max)
+		fmt.Fprintf(&b, "%10v | %-*s %d\n", bucketUpper(i), width, strings.Repeat("#", n), s.Buckets[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// JoinTCP forms a world whose ranks live in separate OS processes — the
+// deployment shape of the paper's mpiexec-launched FanStore (§V-D). Ranks
+// rendezvous through a shared directory (the role a process manager or
+// the shared filesystem plays on a cluster): each rank listens on a
+// loopback TCP port, publishes its address as <dir>/rank-<r>.addr, waits
+// until all ranks have published, and then exchanges messages exactly as
+// Run/RunTCP worlds do.
+//
+// The returned leave function must be called when the rank is done; it
+// closes the transport and unblocks any local Recv with ErrAborted. Like
+// MPI_Finalize, leave blocks until peers have closed their side of the
+// shared connections, so call it on every rank (a crashed peer's sockets
+// are closed by its OS and do not wedge the others). Unlike Run, there is
+// no cross-process abort: a silent peer manifests as a hung Recv, as with
+// real MPI.
+func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, nil, fmt.Errorf("mpi: join rank %d of %d", rank, size)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("mpi: rendezvous dir: %w", err)
+	}
+
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	// Only this rank's mailbox receives; peers' slots stay nil and all
+	// sends go through the transport.
+	w.boxes[rank] = newMailbox()
+
+	t := &tcpTransport{w: w, conns: make(map[int]*tcpConn)}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: join listen: %w", err)
+	}
+	t.listeners = make([]net.Listener, size)
+	t.listeners[rank] = l
+	t.addrs = make([]string, size)
+	t.addrs[rank] = l.Addr().String()
+
+	// Publish atomically: write-then-rename so readers never see a
+	// partial address.
+	tmp := filepath.Join(dir, fmt.Sprintf(".rank-%d.tmp", rank))
+	final := filepath.Join(dir, fmt.Sprintf("rank-%d.addr", rank))
+	if err := os.WriteFile(tmp, []byte(t.addrs[rank]), 0o644); err != nil {
+		l.Close()
+		return nil, nil, fmt.Errorf("mpi: publish address: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		l.Close()
+		return nil, nil, fmt.Errorf("mpi: publish address: %w", err)
+	}
+
+	// Accept loop for this rank.
+	t.done.Add(1)
+	go func() {
+		defer t.done.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			t.done.Add(1)
+			go func() {
+				defer t.done.Done()
+				t.reader(rank, conn)
+			}()
+		}
+	}()
+
+	// Wait for every peer's address.
+	deadline := time.Now().Add(timeout)
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("rank-%d.addr", r))
+		for {
+			data, err := os.ReadFile(path)
+			if err == nil && len(data) > 0 {
+				t.addrs[r] = string(data)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.close()
+				return nil, nil, fmt.Errorf("mpi: rank %d never published (waited %v)", r, timeout)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	w.trans = t
+	leave := func() {
+		w.abort()
+		t.close()
+	}
+	return &Comm{world: w, rank: rank}, leave, nil
+}

@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJoinTCPSameProcess validates the rendezvous protocol with three
+// "processes" sharing an address space (the directory handshake and
+// socket paths are identical either way).
+func TestJoinTCPSameProcess(t *testing.T) {
+	dir := t.TempDir()
+	const size = 3
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				c, leave, err := JoinTCP(dir, r, size, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				defer leave()
+				// Point-to-point ring plus a collective.
+				if err := c.Send(c.Neighbor(), 2, []byte{byte(r)}); err != nil {
+					return err
+				}
+				data, src, err := c.Recv(AnySource, 2)
+				if err != nil {
+					return err
+				}
+				want := (r + size - 1) % size
+				if src != want || data[0] != byte(want) {
+					return fmt.Errorf("rank %d: got %v from %d", r, data, src)
+				}
+				parts, err := c.Allgather([]byte{byte(r * 10)})
+				if err != nil {
+					return err
+				}
+				for i, p := range parts {
+					if p[0] != byte(i*10) {
+						return fmt.Errorf("rank %d: allgather part %d = %v", r, i, p)
+					}
+				}
+				return c.Barrier()
+			}()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestJoinTCPValidation(t *testing.T) {
+	if _, _, err := JoinTCP(t.TempDir(), 2, 2, time.Second); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, _, err := JoinTCP(t.TempDir(), 0, 0, time.Second); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	// A peer that never shows up must time out, not hang.
+	start := time.Now()
+	if _, _, err := JoinTCP(t.TempDir(), 0, 2, 200*time.Millisecond); err == nil {
+		t.Fatal("missing peer accepted")
+	} else if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not honored")
+	}
+}
+
+// TestJoinTCPMultiProcess runs real separate OS processes (the paper's
+// mpiexec shape) using the test binary re-exec pattern.
+func TestJoinTCPMultiProcess(t *testing.T) {
+	if os.Getenv("FANSTORE_JOIN_HELPER") == "1" {
+		helperMain()
+		return
+	}
+	dir := t.TempDir()
+	const size = 3
+	cmds := make([]*exec.Cmd, size)
+	var outs [3]bytes.Buffer
+	for r := 0; r < size; r++ {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestJoinTCPMultiProcess")
+		cmd.Env = append(os.Environ(),
+			"FANSTORE_JOIN_HELPER=1",
+			"FANSTORE_JOIN_DIR="+dir,
+			"FANSTORE_JOIN_RANK="+strconv.Itoa(r),
+			"FANSTORE_JOIN_SIZE="+strconv.Itoa(size),
+		)
+		cmd.Stdout = &outs[r]
+		cmd.Stderr = &outs[r]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[r] = cmd
+	}
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("rank %d failed: %v\n%s", r, err, outs[r].String())
+		}
+	}
+	for r := 0; r < size; r++ {
+		want := fmt.Sprintf("rank %d sum 30", r)
+		if !bytes.Contains(outs[r].Bytes(), []byte(want)) {
+			t.Fatalf("rank %d output %q missing %q", r, outs[r].String(), want)
+		}
+	}
+}
+
+// helperMain is one subprocess rank: join, allgather, print the sum.
+func helperMain() {
+	dir := os.Getenv("FANSTORE_JOIN_DIR")
+	rank, _ := strconv.Atoi(os.Getenv("FANSTORE_JOIN_RANK"))
+	size, _ := strconv.Atoi(os.Getenv("FANSTORE_JOIN_SIZE"))
+	c, leave, err := JoinTCP(dir, rank, size, 20*time.Second)
+	if err != nil {
+		fmt.Println("join error:", err)
+		os.Exit(1)
+	}
+	defer leave()
+	parts, err := c.Allgather([]byte{byte((rank + 1) * 5)})
+	if err != nil {
+		fmt.Println("allgather error:", err)
+		os.Exit(1)
+	}
+	sum := 0
+	for _, p := range parts {
+		sum += int(p[0])
+	}
+	if err := c.Barrier(); err != nil {
+		fmt.Println("barrier error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rank %d sum %d\n", rank, sum)
+	os.Exit(0)
+}

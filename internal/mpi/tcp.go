@@ -1,0 +1,168 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// RunTCP starts n ranks whose messages travel over real TCP connections
+// on the loopback interface — the same SPMD contract as Run, but
+// exercising frame serialization, the kernel network stack, and
+// concurrent socket writers, as an mpiexec deployment over an IP fabric
+// would. One connection is established per ordered rank pair on demand.
+func RunTCP(n int, f func(c *Comm) error) error {
+	w, err := newWorld(n)
+	if err != nil {
+		return err
+	}
+	t := &tcpTransport{w: w, conns: make(map[int]*tcpConn)}
+	if err := t.listen(); err != nil {
+		return err
+	}
+	w.trans = t
+	return w.run(f)
+}
+
+// tcpFrame is the wire format: src, tag (zigzag: collectives use negative
+// tags), payload length, payload.
+//
+//	u32 src | u64 zigzag(tag) | u32 len | len bytes
+const tcpFrameHdr = 4 + 8 + 4
+
+// tcpTransport carries messages over per-destination TCP connections.
+// Listeners feed received frames straight into the local mailboxes.
+type tcpTransport struct {
+	w         *World
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	conns map[int]*tcpConn // key: src*size + dst
+	done  sync.WaitGroup
+}
+
+// tcpConn pairs a connection with its writer lock, so concurrent senders
+// to the same destination serialize without stalling other destinations.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// listen opens one listener per rank and starts accept loops.
+func (t *tcpTransport) listen() error {
+	n := t.w.size
+	t.listeners = make([]net.Listener, n)
+	t.addrs = make([]string, n)
+	for r := 0; r < n; r++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return fmt.Errorf("mpi: tcp listen: %w", err)
+		}
+		t.listeners[r] = l
+		t.addrs[r] = l.Addr().String()
+	}
+	for r := 0; r < n; r++ {
+		r := r
+		t.done.Add(1)
+		go func() {
+			defer t.done.Done()
+			for {
+				conn, err := t.listeners[r].Accept()
+				if err != nil {
+					return // listener closed at shutdown
+				}
+				t.done.Add(1)
+				go func() {
+					defer t.done.Done()
+					t.reader(r, conn)
+				}()
+			}
+		}()
+	}
+	return nil
+}
+
+// reader drains one inbound connection into rank r's mailbox.
+func (t *tcpTransport) reader(r int, conn net.Conn) {
+	defer conn.Close()
+	var hdr [tcpFrameHdr]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // peer closed (shutdown) or failed
+		}
+		src := int(binary.LittleEndian.Uint32(hdr[:4]))
+		z := binary.LittleEndian.Uint64(hdr[4:12])
+		tag := int(int64(z>>1) ^ -int64(z&1))
+		length := int(binary.LittleEndian.Uint32(hdr[12:16]))
+		if src < 0 || src >= t.w.size || length < 0 || length > 1<<31 {
+			return
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		if t.w.boxes[r].push(message{src: src, tag: tag, data: data}) != nil {
+			return // world aborted
+		}
+	}
+}
+
+// conn returns (dialing if needed) the connection for the (src, dst)
+// ordered pair. A dedicated connection per pair keeps the per-(src,tag)
+// non-overtaking guarantee: TCP preserves order within a connection.
+func (t *tcpTransport) conn(src, dst int) (*tcpConn, error) {
+	key := src*t.w.size + dst
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp dial rank %d: %w", dst, err)
+	}
+	tc := &tcpConn{c: c}
+	t.conns[key] = tc
+	return tc, nil
+}
+
+func (t *tcpTransport) send(src, dst, tag int, data []byte) error {
+	c, err := t.conn(src, dst)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, tcpFrameHdr+len(data))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(src))
+	z := uint64(int64(tag)<<1) ^ uint64(int64(tag)>>63)
+	binary.LittleEndian.PutUint64(frame[4:12], z)
+	binary.LittleEndian.PutUint32(frame[12:16], uint32(len(data)))
+	copy(frame[tcpFrameHdr:], data)
+	// Serialize writers per connection: a rank's daemon and main
+	// goroutine may send to the same destination concurrently.
+	c.mu.Lock()
+	_, err = c.c.Write(frame)
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("mpi: tcp send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (t *tcpTransport) close() {
+	for _, l := range t.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.conns = map[int]*tcpConn{}
+	t.mu.Unlock()
+	t.done.Wait()
+}

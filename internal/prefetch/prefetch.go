@@ -1,0 +1,200 @@
+// Package prefetch implements the asynchronous I/O pipeline of §VI-A
+// (Fig. 5b) as a reusable component: while iteration i computes, the
+// pipeline's I/O workers read and decompress iteration i+1's batch, so
+// decompression cost is hidden as long as it fits inside the iteration
+// time (Equation 2's condition).
+//
+// DL frameworks ship this machinery (Keras/TF/PyTorch input pipelines,
+// §VI-A); training loops over FanStore use this package for the same
+// role. The pipeline is a bounded queue of batch futures filled by a
+// configurable number of I/O goroutines — the paper's "4 I/O threads per
+// process" (§II-B1).
+package prefetch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Reader is the data source: FanStore's Node.ReadFile satisfies it.
+type Reader interface {
+	ReadFile(path string) ([]byte, error)
+}
+
+// Batch is one iteration's worth of training samples, in sampler order.
+type Batch struct {
+	// Index is the iteration number this batch feeds.
+	Index int
+	// Paths are the files of the batch.
+	Paths []string
+	// Data holds the file contents, parallel to Paths.
+	Data [][]byte
+}
+
+// Sampler yields the file list for iteration i, or ok=false at the end
+// of the epoch. Implementations must be safe for calls from the pipeline
+// goroutine.
+type Sampler func(iter int) (paths []string, ok bool)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Workers is the number of concurrent I/O goroutines (default 4,
+	// matching the Keras default the paper describes in §II-B1).
+	Workers int
+	// Depth is how many batches may be in flight ahead of the consumer
+	// (default 2: the classic double-buffering of Fig. 5b).
+	Depth int
+}
+
+// Pipeline prefetches batches ahead of a training loop.
+type Pipeline struct {
+	out  chan result
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+type result struct {
+	batch Batch
+	err   error
+}
+
+// ErrStopped is returned by Next after Stop.
+var ErrStopped = errors.New("prefetch: pipeline stopped")
+
+// New starts a pipeline reading batches produced by sampler from r.
+func New(r Reader, sampler Sampler, opts Options) *Pipeline {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = 2
+	}
+	p := &Pipeline{
+		out:  make(chan result, depth),
+		stop: make(chan struct{}),
+	}
+
+	// The sequencer hands iteration indices to workers; a reorder stage
+	// delivers completed batches in iteration order.
+	type job struct {
+		index int
+		paths []string
+	}
+	jobs := make(chan job, depth)
+	done := make(chan result, depth+workers)
+
+	p.wg.Add(1)
+	go func() { // sequencer
+		defer p.wg.Done()
+		defer close(jobs)
+		for i := 0; ; i++ {
+			paths, ok := sampler(i)
+			if !ok {
+				return
+			}
+			select {
+			case jobs <- job{index: i, paths: paths}:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for j := range jobs {
+				b := Batch{Index: j.index, Paths: j.paths, Data: make([][]byte, 0, len(j.paths))}
+				var err error
+				for _, path := range j.paths {
+					var data []byte
+					if data, err = r.ReadFile(path); err != nil {
+						err = fmt.Errorf("prefetch: iter %d: %w", j.index, err)
+						break
+					}
+					b.Data = append(b.Data, data)
+				}
+				select {
+				case done <- result{batch: b, err: err}:
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		workerWG.Wait()
+		close(done)
+	}()
+
+	p.wg.Add(1)
+	go func() { // reorder stage: deliver in iteration order
+		defer p.wg.Done()
+		defer close(p.out)
+		pending := make(map[int]result)
+		next := 0
+		for r := range done {
+			pending[r.batch.Index] = r
+			for {
+				res, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				select {
+				case p.out <- res:
+				case <-p.stop:
+					return
+				}
+				if res.err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return p
+}
+
+// Next blocks for the next in-order batch. It returns ok=false at the
+// clean end of the sampler's sequence.
+func (p *Pipeline) Next() (Batch, bool, error) {
+	select {
+	case r, ok := <-p.out:
+		if !ok {
+			return Batch{}, false, nil
+		}
+		return r.batch, r.err == nil, r.err
+	case <-p.stop:
+		return Batch{}, false, ErrStopped
+	}
+}
+
+// Stop cancels the pipeline and releases its goroutines. Safe to call
+// multiple times and after exhaustion.
+func (p *Pipeline) Stop() {
+	p.once.Do(func() { close(p.stop) })
+}
+
+// RangeSampler batches a path list into fixed-size iterations, striped
+// for one rank of a data-parallel job: iteration i takes paths
+// [(i*ranks+rank)*batch, ...). It is the shuffling-free core; callers
+// shuffle the path slice per epoch (as the training example does).
+func RangeSampler(paths []string, batch, rank, ranks int) Sampler {
+	if batch <= 0 || ranks <= 0 {
+		return func(int) ([]string, bool) { return nil, false }
+	}
+	return func(iter int) ([]string, bool) {
+		start := (iter*ranks + rank) * batch
+		if start+batch > len(paths) {
+			return nil, false
+		}
+		return paths[start : start+batch], true
+	}
+}

@@ -1,0 +1,207 @@
+package prefetch
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mapReader serves files from a map with optional artificial latency and
+// failure injection.
+type mapReader struct {
+	files   map[string][]byte
+	delay   time.Duration
+	failOn  string
+	reads   atomic.Int64
+	maxSeen atomic.Int64 // highest concurrent readers observed
+	cur     atomic.Int64
+}
+
+func (m *mapReader) ReadFile(path string) ([]byte, error) {
+	c := m.cur.Add(1)
+	defer m.cur.Add(-1)
+	for {
+		seen := m.maxSeen.Load()
+		if c <= seen || m.maxSeen.CompareAndSwap(seen, c) {
+			break
+		}
+	}
+	m.reads.Add(1)
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	if path == m.failOn {
+		return nil, errors.New("injected read failure")
+	}
+	data, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("no such file %s", path)
+	}
+	return data, nil
+}
+
+func newMapReader(n int) (*mapReader, []string) {
+	m := &mapReader{files: make(map[string][]byte)}
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("f%03d", i)
+		m.files[paths[i]] = []byte{byte(i)}
+	}
+	return m, paths
+}
+
+func TestDeliversInOrder(t *testing.T) {
+	r, paths := newMapReader(40)
+	p := New(r, RangeSampler(paths, 4, 0, 1), Options{Workers: 4, Depth: 3})
+	defer p.Stop()
+	for want := 0; want < 10; want++ {
+		b, ok, err := p.Next()
+		if err != nil || !ok {
+			t.Fatalf("iter %d: ok=%v err=%v", want, ok, err)
+		}
+		if b.Index != want {
+			t.Fatalf("batch %d arrived when %d expected", b.Index, want)
+		}
+		if len(b.Data) != 4 {
+			t.Fatalf("batch %d has %d items", want, len(b.Data))
+		}
+		for k, d := range b.Data {
+			if d[0] != byte(want*4+k) {
+				t.Fatalf("batch %d item %d holds %d", want, k, d[0])
+			}
+		}
+	}
+	if _, ok, err := p.Next(); ok || err != nil {
+		t.Fatalf("after exhaustion: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestOverlapsIO(t *testing.T) {
+	// With per-file latency, multiple workers must overlap reads.
+	r, paths := newMapReader(32)
+	r.delay = time.Millisecond
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 4, Depth: 4})
+	defer p.Stop()
+	for {
+		_, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if r.maxSeen.Load() < 2 {
+		t.Fatalf("no I/O overlap observed (max concurrent readers %d)", r.maxSeen.Load())
+	}
+}
+
+func TestPrefetchAheadOfConsumer(t *testing.T) {
+	// A slow consumer should find batches ready: reads happen while the
+	// consumer "computes".
+	r, paths := newMapReader(16)
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 2, Depth: 4})
+	defer p.Stop()
+	if _, ok, err := p.Next(); !ok || err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // "compute"
+	if got := r.reads.Load(); got < 6 {
+		t.Fatalf("pipeline read only %d files while consumer computed", got)
+	}
+}
+
+func TestFailurePropagates(t *testing.T) {
+	r, paths := newMapReader(20)
+	r.failOn = paths[9] // inside iteration 4 (batch 2)
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 2, Depth: 2})
+	defer p.Stop()
+	sawErr := false
+	for i := 0; i < 10; i++ {
+		b, ok, err := p.Next()
+		if err != nil {
+			sawErr = true
+			if b.Index > 4 {
+				t.Fatalf("error after batch %d, want at 4", b.Index)
+			}
+			break
+		}
+		if !ok {
+			break
+		}
+		if b.Index >= 4 {
+			t.Fatalf("batch %d delivered past the failing iteration", b.Index)
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected failure never surfaced")
+	}
+}
+
+func TestStripedRanks(t *testing.T) {
+	_, paths := newMapReader(24)
+	seen := make(map[string]int)
+	for rank := 0; rank < 3; rank++ {
+		s := RangeSampler(paths, 2, rank, 3)
+		for i := 0; ; i++ {
+			batch, ok := s(i)
+			if !ok {
+				break
+			}
+			for _, p := range batch {
+				seen[p]++
+			}
+		}
+	}
+	if len(seen) != 24 {
+		t.Fatalf("ranks covered %d of 24 files", len(seen))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("file %s read %d times across ranks", p, n)
+		}
+	}
+}
+
+func TestStopUnblocks(t *testing.T) {
+	r, paths := newMapReader(8)
+	r.delay = 50 * time.Millisecond
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 1, Depth: 1})
+	done := make(chan error, 1)
+	go func() {
+		for {
+			_, ok, err := p.Next()
+			if err != nil || !ok {
+				done <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ErrStopped) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer did not unblock after Stop")
+	}
+}
+
+func TestDegenerateSamplers(t *testing.T) {
+	r, _ := newMapReader(4)
+	p := New(r, RangeSampler(nil, 2, 0, 1), Options{})
+	if _, ok, err := p.Next(); ok || err != nil {
+		t.Fatalf("empty sampler: ok=%v err=%v", ok, err)
+	}
+	p.Stop()
+	if s := RangeSampler([]string{"a"}, 0, 0, 1); s != nil {
+		if _, ok := s(0); ok {
+			t.Fatal("zero batch size should yield nothing")
+		}
+	}
+}

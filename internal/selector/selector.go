@@ -1,0 +1,208 @@
+// Package selector implements the paper's compressor selection algorithm
+// (§VI-B, Equations 1-3): given the application's iteration profile, the
+// measured FanStore I/O performance, and per-compressor (decompression
+// cost, compression ratio) samples, it returns the candidate set whose
+// decompression can be hidden by the I/O savings (synchronous I/O, Eq. 1)
+// or by the iteration time (asynchronous I/O, Eq. 2), then picks the
+// feasible compressor with the highest storage capacity.
+package selector
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fanstore/internal/codec"
+)
+
+// IOMode is the application's I/O strategy (§VI-A, Fig. 5).
+type IOMode int
+
+const (
+	// Sync runs I/O and compute sequentially each iteration (Eq. 1).
+	Sync IOMode = iota
+	// Async overlaps I/O with the previous iteration's compute (Eq. 2).
+	Async
+)
+
+func (m IOMode) String() string {
+	if m == Sync {
+		return "sync"
+	}
+	return "async"
+}
+
+// AppProfile carries the application-side inputs of Table V.
+type AppProfile struct {
+	Name string
+	IO   IOMode
+	// TIter is the per-iteration compute time (profiled with data in
+	// RAM disk to exclude I/O, §VII-E).
+	TIter time.Duration
+	// CBatch is the per-iteration batch size in files.
+	CBatch int
+	// SBatchMB is the per-iteration I/O quantity in MB without
+	// compression (S'_batch).
+	SBatchMB float64
+	// Parallelism is the number of I/O threads decompressing
+	// concurrently per node (the "four-way parallelism" of §VII-E1).
+	Parallelism int
+}
+
+// IOPerf is the measured FanStore read performance for this cluster and
+// file size (Table VI).
+type IOPerf struct {
+	// TptRead is read throughput in files/s (the small-file bound).
+	TptRead float64
+	// BdwRead is read bandwidth in MB/s (the large-file bound).
+	BdwRead float64
+}
+
+// Candidate is one compressor's measured behaviour on the target dataset.
+type Candidate struct {
+	Name string
+	// DecompressPerFile is the mean per-file decompression cost.
+	DecompressPerFile time.Duration
+	// Ratio is the dataset-level compression ratio.
+	Ratio float64
+}
+
+// Choice is the per-candidate selection verdict.
+type Choice struct {
+	Candidate
+	// Feasible reports whether the performance constraint holds.
+	Feasible bool
+	// PerFileBudget is the decompression time each file may take under
+	// the constraint (e.g. the 852 us of §VII-E1).
+	PerFileBudget time.Duration
+}
+
+// TRead is Equation 3: reading C_batch files totalling S_batch MB costs
+// the larger of the throughput bound and the bandwidth bound, because one
+// of the two is the binding resource (§VI-A).
+func TRead(cBatch int, sBatchMB float64, perf IOPerf) time.Duration {
+	tpt := float64(cBatch) / perf.TptRead
+	bdw := sBatchMB / perf.BdwRead
+	bound := tpt
+	if bdw > bound {
+		bound = bdw
+	}
+	return time.Duration(bound * float64(time.Second))
+}
+
+// PerFileBudget returns the wall-time decompression budget per file for a
+// candidate with the given ratio: Eq. 1's slack for synchronous I/O, or
+// Eq. 2's for asynchronous, multiplied by the I/O parallelism and divided
+// across the batch (§VII-E1's arithmetic).
+func PerFileBudget(app AppProfile, perf IOPerf, ratio float64) time.Duration {
+	if ratio <= 0 {
+		ratio = 1
+	}
+	readCompressed := TRead(app.CBatch, app.SBatchMB/ratio, perf)
+	var slack time.Duration
+	switch app.IO {
+	case Sync:
+		slack = TRead(app.CBatch, app.SBatchMB, perf) - readCompressed
+	case Async:
+		slack = app.TIter - readCompressed
+	}
+	if slack < 0 {
+		return 0
+	}
+	par := app.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	return time.Duration(float64(slack) * float64(par) / float64(app.CBatch))
+}
+
+// Evaluate applies the selection constraint to every candidate.
+func Evaluate(app AppProfile, perf IOPerf, cands []Candidate) []Choice {
+	out := make([]Choice, 0, len(cands))
+	for _, c := range cands {
+		budget := PerFileBudget(app, perf, c.Ratio)
+		out = append(out, Choice{
+			Candidate:     c,
+			PerFileBudget: budget,
+			Feasible:      c.DecompressPerFile < budget,
+		})
+	}
+	return out
+}
+
+// Select returns the feasible candidate with the highest compression
+// ratio (maximum storage capacity under the performance constraint,
+// §VI-B), breaking ratio ties toward cheaper decompression. ok is false
+// when no candidate is feasible.
+func Select(app AppProfile, perf IOPerf, cands []Candidate) (best Choice, ok bool) {
+	choices := Evaluate(app, perf, cands)
+	for _, ch := range choices {
+		if !ch.Feasible {
+			continue
+		}
+		if !ok || ch.Ratio > best.Ratio ||
+			(ch.Ratio == best.Ratio && ch.DecompressPerFile < best.DecompressPerFile) {
+			best = ch
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// MeasureCandidate profiles one codec configuration on sample files:
+// dataset-level compression ratio and mean per-file decompression cost,
+// the compressor-side inputs of §VII-E. It is how Fig. 7's sweep and
+// Table VII's candidate rows are produced.
+func MeasureCandidate(name string, samples [][]byte) (Candidate, error) {
+	cfg, okc := codec.ByName(name)
+	if !okc {
+		return Candidate{}, fmt.Errorf("selector: unknown codec %q", name)
+	}
+	var raw, comp int64
+	blobs := make([][]byte, len(samples))
+	for i, s := range samples {
+		b, err := cfg.Codec.Compress(nil, s)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("selector: %s: %w", name, err)
+		}
+		blobs[i] = b
+		raw += int64(len(s))
+		comp += int64(len(b))
+	}
+	// Time decompression over enough repetitions to be stable.
+	reps := 1
+	if raw < 8<<20 {
+		reps = int(1 + (8<<20)/(raw+1))
+	}
+	if reps > 50 {
+		reps = 50
+	}
+	var dst []byte
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, b := range blobs {
+			var err error
+			dst, err = cfg.Codec.Decompress(dst[:0], b)
+			if err != nil {
+				return Candidate{}, fmt.Errorf("selector: %s: %w", name, err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	per := elapsed / time.Duration(reps*len(samples))
+	ratio := float64(raw) / float64(comp)
+	return Candidate{Name: name, DecompressPerFile: per, Ratio: ratio}, nil
+}
+
+// MeasureAll profiles every named configuration, skipping ones that fail.
+func MeasureAll(names []string, samples [][]byte) []Candidate {
+	out := make([]Candidate, 0, len(names))
+	for _, n := range names {
+		c, err := MeasureCandidate(n, samples)
+		if err == nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DecompressPerFile < out[j].DecompressPerFile })
+	return out
+}

@@ -1,0 +1,228 @@
+package selector
+
+import (
+	"testing"
+	"time"
+
+	"fanstore/internal/dataset"
+)
+
+// Table V / Table VI inputs for the three §VII-E cases.
+var (
+	srganGTX = AppProfile{
+		Name: "SRGAN", IO: Sync, TIter: 9689 * time.Millisecond,
+		CBatch: 256, SBatchMB: 410, Parallelism: 4,
+	}
+	// GTX cluster: the compressed 762 KB files use the 512 KB row, the
+	// raw 2 MB files the 2 MB row (§VII-E1).
+	gtx512K = IOPerf{TptRead: 9469, BdwRead: 4969}
+	gtx2M   = IOPerf{TptRead: 3158, BdwRead: 6663}
+
+	frnnCPU = AppProfile{
+		Name: "FRNN", IO: Async, TIter: 655 * time.Millisecond,
+		CBatch: 512, SBatchMB: 0.615, Parallelism: 4,
+	}
+	cpu1K = IOPerf{TptRead: 29103, BdwRead: 30}
+
+	srganV100 = AppProfile{
+		Name: "SRGAN", IO: Sync, TIter: 2416 * time.Millisecond,
+		CBatch: 256, SBatchMB: 410, Parallelism: 4,
+	}
+	v100_512K = IOPerf{TptRead: 8654, BdwRead: 4540}
+	v100_2M   = IOPerf{TptRead: 5026, BdwRead: 10546}
+)
+
+// TestSRGANGTXArithmetic reproduces the worked example of §VII-E1: the
+// paper computes T_read(S'_batch) = 81063 us under the 2 MB perf row,
+// T_read(S_batch) under the 512 KB row, and derives a per-file
+// decompression budget of 852 us at 4-way parallelism.
+func TestSRGANGTXArithmetic(t *testing.T) {
+	// Uncompressed 2 MB files: the 2 MB row.
+	tUncomp := TRead(srganGTX.CBatch, srganGTX.SBatchMB, gtx2M)
+	if got := tUncomp.Microseconds(); got < 79000 || got > 83000 {
+		t.Fatalf("T_read(S'_batch) = %d us, paper computes 81063 us", got)
+	}
+	// Compressed ~762 KB files: the 512 KB row, S_batch = 410/2.1 MB.
+	tComp := TRead(srganGTX.CBatch, srganGTX.SBatchMB/2.1, gtx512K)
+	if got := tComp.Microseconds(); got < 26000 || got > 41000 {
+		t.Fatalf("T_read(S_batch) = %d us, paper computes 27035-39288 us", got)
+	}
+	// Budget per file with 4-way parallelism: paper derives 852 us using
+	// the 512 KB throughput row for the compressed read.
+	slack := tUncomp - tComp
+	perFile := time.Duration(float64(slack) * 4 / 256)
+	if got := perFile.Microseconds(); got < 600 || got > 1000 {
+		t.Fatalf("per-file budget = %d us, paper derives 852 us", got)
+	}
+}
+
+// mixedPerf evaluates the sync budget exactly as the paper does, reading
+// compressed data under one perf row and uncompressed under another.
+func syncBudgetMixed(app AppProfile, compPerf, uncompPerf IOPerf, ratio float64) time.Duration {
+	slack := TRead(app.CBatch, app.SBatchMB, uncompPerf) - TRead(app.CBatch, app.SBatchMB/ratio, compPerf)
+	if slack < 0 {
+		return 0
+	}
+	return time.Duration(float64(slack) * float64(app.Parallelism) / float64(app.CBatch))
+}
+
+func TestSRGANGTXSelection(t *testing.T) {
+	// Candidates mirror Table VII(a): per-file decompression cost and
+	// ratio on the EM dataset.
+	cands := []Candidate{
+		{Name: "lzsse8", DecompressPerFile: 619 * time.Microsecond, Ratio: 2.5},
+		{Name: "lz4hc", DecompressPerFile: 840 * time.Microsecond, Ratio: 2.1},
+		{Name: "brotli", DecompressPerFile: 4741 * time.Microsecond, Ratio: 3.4},
+		{Name: "zling", DecompressPerFile: 17123 * time.Microsecond, Ratio: 3.1},
+		{Name: "lzma", DecompressPerFile: 41261 * time.Microsecond, Ratio: 4.2},
+	}
+	// Note: the paper's §VII-E1 walkthrough takes the 27035 us throughput
+	// bound for the compressed read, but Eq. 3 says max(throughput,
+	// bandwidth) and the bandwidth term (39.3 ms) is larger; the strict
+	// budget is therefore ~652 us rather than 852 us. lzsse8 fits either
+	// way; lz4hc at 858 us is marginal (and indeed the paper's Fig. 8(a)
+	// shows it merely matching, not beating, baseline).
+	budget := syncBudgetMixed(srganGTX, gtx512K, gtx2M, 2.1)
+	feasible := map[string]bool{}
+	for _, c := range cands {
+		feasible[c.Name] = c.DecompressPerFile < budget
+	}
+	if !feasible["lzsse8"] {
+		t.Fatalf("lzsse8 must be feasible on GTX (budget %v)", budget)
+	}
+	if feasible["brotli"] || feasible["zling"] || feasible["lzma"] {
+		t.Fatalf("slow compressors must be infeasible on GTX (budget %v)", budget)
+	}
+	// Via the package API with the conservative single-row perf (512K),
+	// the same split holds and lzsse8 wins on ratio among feasible.
+	best, ok := Select(srganGTX, gtx512K, cands)
+	if !ok || best.Name != "lzsse8" {
+		t.Fatalf("Select = %+v, ok=%v; want lzsse8", best, ok)
+	}
+}
+
+func TestFRNNCPUSelection(t *testing.T) {
+	// §VII-E2: acceptable decompression cost is 4952 us; all candidates
+	// in Table VII(b) meet it.
+	budget := PerFileBudget(frnnCPU, cpu1K, 6.5)
+	if got := budget.Microseconds(); got < 4400 || got > 5500 {
+		t.Fatalf("FRNN budget = %d us, paper derives 4952 us", got)
+	}
+	cands := []Candidate{
+		{Name: "lzf", DecompressPerFile: 410 * time.Nanosecond, Ratio: 8.7},
+		{Name: "lzsse8", DecompressPerFile: 430 * time.Nanosecond, Ratio: 6.5},
+		{Name: "brotli", DecompressPerFile: 5230 * time.Microsecond, Ratio: 13.0},
+	}
+	choices := Evaluate(frnnCPU, cpu1K, cands)
+	for _, ch := range choices[:2] {
+		if !ch.Feasible {
+			t.Fatalf("%s must be feasible (budget %v)", ch.Name, ch.PerFileBudget)
+		}
+	}
+	// brotli at 5.23 ms vs ~5 ms budget is borderline-infeasible with
+	// these inputs, yet close — matching Fig. 8(b) where even brotli
+	// keeps baseline performance in practice.
+	best, ok := Select(frnnCPU, cpu1K, cands)
+	if !ok {
+		t.Fatal("no feasible candidate for FRNN")
+	}
+	if best.Name != "lzf" && best.Name != "brotli" {
+		t.Fatalf("Select picked %s", best.Name)
+	}
+}
+
+func TestSRGANV100NeedsFasterDecompression(t *testing.T) {
+	// §VII-E3: V100 runs 4x faster, so the budget shrinks to ~125 us and
+	// only lz4-class decompression (with ratio ~2) can keep up.
+	budget := syncBudgetMixed(srganV100, v100_512K, v100_2M, 2.0)
+	if got := budget.Microseconds(); got < 40 || got > 400 {
+		t.Fatalf("V100 budget = %d us, paper derives ~125 us", got)
+	}
+	cands := []Candidate{
+		{Name: "lz4fast", DecompressPerFile: 80 * time.Microsecond, Ratio: 1.05},
+		{Name: "lz4hc", DecompressPerFile: 942 * time.Microsecond, Ratio: 2.1},
+		{Name: "brotli", DecompressPerFile: 5650 * time.Microsecond, Ratio: 3.1},
+	}
+	// The paper evaluates the budget at a nominal ratio (~2) and checks
+	// each candidate's cost against it: lz4fast's 80 us fits. (Under the
+	// per-candidate budget of Evaluate, lz4fast's ratio ~1 leaves no
+	// read savings at all, so it is correctly useless there — the paper
+	// reaches the same conclusion via its ratio, "close to one".)
+	if !(cands[0].DecompressPerFile < budget) {
+		t.Fatal("lz4fast must meet the V100 nominal-ratio budget")
+	}
+	choices := Evaluate(srganV100, v100_512K, cands)
+	byName := map[string]Choice{}
+	for _, ch := range choices {
+		byName[ch.Name] = ch
+	}
+	if byName["brotli"].Feasible {
+		t.Fatal("brotli cannot meet the V100 budget")
+	}
+	// lz4hc at 942 us > 125 us budget: formally infeasible, and indeed
+	// the paper measures 95.3% (not 100%) of baseline with it.
+	if byName["lz4hc"].Feasible {
+		t.Fatal("lz4hc should be (marginally) infeasible on V100")
+	}
+}
+
+func TestSelectNoFeasible(t *testing.T) {
+	app := AppProfile{IO: Async, TIter: time.Millisecond, CBatch: 1000, Parallelism: 1}
+	perf := IOPerf{TptRead: 1000, BdwRead: 1}
+	_, ok := Select(app, perf, []Candidate{{Name: "slow", DecompressPerFile: time.Second, Ratio: 9}})
+	if ok {
+		t.Fatal("infeasible candidate selected")
+	}
+}
+
+func TestBudgetMonotonicInRatio(t *testing.T) {
+	// Higher ratio => less data to read => never a smaller budget.
+	prev := time.Duration(-1)
+	for _, ratio := range []float64{1, 1.5, 2, 4, 8, 16} {
+		b := PerFileBudget(srganGTX, gtx512K, ratio)
+		if b < prev {
+			t.Fatalf("budget not monotonic at ratio %.1f", ratio)
+		}
+		prev = b
+	}
+}
+
+func TestTReadBounds(t *testing.T) {
+	perf := IOPerf{TptRead: 1000, BdwRead: 100}
+	// Small files: throughput-bound. 100 files @ 1000 f/s = 100 ms.
+	if got := TRead(100, 0.001, perf); got != 100*time.Millisecond {
+		t.Fatalf("throughput bound: %v", got)
+	}
+	// Large files: bandwidth-bound. 50 MB @ 100 MB/s = 500 ms.
+	if got := TRead(10, 50, perf); got != 500*time.Millisecond {
+		t.Fatalf("bandwidth bound: %v", got)
+	}
+}
+
+func TestMeasureCandidates(t *testing.T) {
+	g := dataset.Generator{Kind: dataset.Lung, Seed: 3, Size: 64 << 10}
+	samples := [][]byte{g.Bytes(0), g.Bytes(1)}
+	cands := MeasureAll([]string{"memcpy", "lzsse8", "lzma"}, samples)
+	if len(cands) != 3 {
+		t.Fatalf("measured %d candidates", len(cands))
+	}
+	byName := map[string]Candidate{}
+	for _, c := range cands {
+		byName[c.Name] = c
+		if c.DecompressPerFile <= 0 {
+			t.Fatalf("%s: nonpositive cost", c.Name)
+		}
+	}
+	if byName["memcpy"].Ratio > 1.0 {
+		t.Fatal("memcpy must not compress")
+	}
+	if byName["lzma"].Ratio <= byName["lzsse8"].Ratio {
+		t.Fatal("lzma must out-compress lzsse8 on CT data")
+	}
+	if byName["lzma"].DecompressPerFile <= byName["lzsse8"].DecompressPerFile {
+		t.Fatal("lzma must decompress slower than lzsse8")
+	}
+	if _, err := MeasureCandidate("bogus", samples); err == nil {
+		t.Fatal("unknown codec should fail")
+	}
+}

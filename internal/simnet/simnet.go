@@ -1,0 +1,66 @@
+// Package simnet models interconnect transfer costs for the simulated
+// clusters of the evaluation (§VII-A): latency plus size-over-bandwidth
+// link timing, and analytic collective models (ring allreduce, allgather)
+// used by the training-loop simulator for gradient exchange and by
+// FanStore for remote file retrieval cost accounting.
+//
+// This is the substitution for the paper's physical fabrics: a Mellanox
+// FDR InfiniBand (56 Gb/s, sub-microsecond latency) on GTX/V100 and a
+// 100 Gb/s Intel Omni-Path fat tree on the CPU cluster. Scaling behaviour
+// depends on the latency/bandwidth ratios, which the profiles preserve.
+package simnet
+
+import "time"
+
+// Link describes one interconnect profile.
+type Link struct {
+	Name string
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// BandwidthMBps is the per-link bandwidth in MB/s.
+	BandwidthMBps float64
+}
+
+// The evaluation fabrics (§VII-A).
+var (
+	// FDRInfiniband: 56 Gb/s, sub-microsecond latency (GTX and V100).
+	FDRInfiniband = Link{Name: "FDR InfiniBand", Latency: 900 * time.Nanosecond, BandwidthMBps: 7000}
+	// OmniPath: 100 Gb/s fat tree (the 512-node CPU cluster).
+	OmniPath = Link{Name: "Omni-Path", Latency: 1100 * time.Nanosecond, BandwidthMBps: 12500}
+)
+
+// Transfer returns the time to move size bytes point-to-point.
+func (l Link) Transfer(size int64) time.Duration {
+	return l.Latency + time.Duration(float64(size)/(l.BandwidthMBps*1e6)*float64(time.Second))
+}
+
+// Allreduce models a ring allreduce of size bytes across n ranks:
+// 2(n-1) steps, each moving size/n bytes, as used for gradient averaging
+// in data-parallel training (§II-A).
+func (l Link) Allreduce(size int64, n int) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	steps := 2 * (n - 1)
+	chunk := float64(size) / float64(n)
+	per := float64(l.Latency) + chunk/(l.BandwidthMBps*1e6)*float64(time.Second)
+	return time.Duration(float64(steps) * per)
+}
+
+// Allgather models a ring allgather where each rank contributes size
+// bytes: n-1 steps each moving size bytes (FanStore's metadata exchange).
+func (l Link) Allgather(size int64, n int) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	per := float64(l.Latency) + float64(size)/(l.BandwidthMBps*1e6)*float64(time.Second)
+	return time.Duration(float64(n-1) * per)
+}
+
+// RingShift models every rank forwarding size bytes to its neighbor at
+// once (FanStore's extra-partition replication, §V-D). The ring topology
+// makes the transfers contention-free, so the cost is a single transfer
+// regardless of n.
+func (l Link) RingShift(size int64) time.Duration {
+	return l.Transfer(size)
+}

@@ -1,0 +1,70 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransfer(t *testing.T) {
+	l := Link{Latency: time.Microsecond, BandwidthMBps: 1000}
+	// 1 MB at 1000 MB/s = 1 ms, plus 1 us latency.
+	got := l.Transfer(1_000_000)
+	want := time.Millisecond + time.Microsecond
+	if got != want {
+		t.Fatalf("Transfer = %v, want %v", got, want)
+	}
+	if z := l.Transfer(0); z != time.Microsecond {
+		t.Fatalf("zero-byte transfer = %v, want latency only", z)
+	}
+}
+
+func TestAllreduceScaling(t *testing.T) {
+	l := FDRInfiniband
+	const size = 100 << 20 // 100 MB of gradients (ResNet-50 scale)
+	if d := l.Allreduce(size, 1); d != 0 {
+		t.Fatalf("single-rank allreduce should be free, got %v", d)
+	}
+	t4 := l.Allreduce(size, 4)
+	t64 := l.Allreduce(size, 64)
+	if t4 <= 0 || t64 <= t4 {
+		t.Fatalf("allreduce must grow with ranks: %v vs %v", t4, t64)
+	}
+	// Ring allreduce moves 2(n-1)/n of the data: the bandwidth term is
+	// bounded by 2x a point-to-point transfer as n grows.
+	bound := 3 * l.Transfer(size)
+	if t64 > bound {
+		t.Fatalf("allreduce(64) = %v exceeds ring bound %v", t64, bound)
+	}
+	// Latency term dominates growth from 64 to 512 for small messages.
+	small512 := l.Allreduce(1024, 512)
+	small64 := l.Allreduce(1024, 64)
+	if small512 <= small64 {
+		t.Fatal("latency term must grow with rank count")
+	}
+}
+
+func TestAllgatherAndRing(t *testing.T) {
+	l := OmniPath
+	if d := l.Allgather(4096, 1); d != 0 {
+		t.Fatalf("single-rank allgather should be free, got %v", d)
+	}
+	if l.Allgather(4096, 8) >= l.Allgather(4096, 512) {
+		t.Fatal("allgather must grow with ranks")
+	}
+	// Ring shift cost is independent of rank count (contention-free).
+	if l.RingShift(1<<20) != l.Transfer(1<<20) {
+		t.Fatal("ring shift should cost one transfer")
+	}
+}
+
+func TestFabricProfiles(t *testing.T) {
+	// OPA is the faster fabric; both have sub-2us latency per §VII-A.
+	if OmniPath.BandwidthMBps <= FDRInfiniband.BandwidthMBps {
+		t.Fatal("OPA should out-bandwidth FDR IB")
+	}
+	for _, l := range []Link{FDRInfiniband, OmniPath} {
+		if l.Latency <= 0 || l.Latency >= 2*time.Microsecond {
+			t.Fatalf("%s latency %v outside sub-microsecond class", l.Name, l.Latency)
+		}
+	}
+}

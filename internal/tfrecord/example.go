@@ -1,0 +1,103 @@
+package tfrecord
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the tf.Example layer of the TFRecord pipeline. A
+// TFRecord file does not hold raw image bytes: each record is a
+// protobuf-encoded Example whose feature map carries the image, label and
+// filename. Readers therefore pay a per-record protobuf walk and a copy
+// to extract the payload — cost that FanStore's raw per-file access does
+// not have, and part of why the paper measures FanStore 5-10x faster
+// than TFRecord (Fig. 6).
+//
+// The encoding here is wire-compatible-in-spirit simplified protobuf:
+// each feature is a (tag varint, length varint, bytes) field; integer
+// features are varints. It preserves the parse cost structure without
+// pulling in a protobuf dependency.
+
+// Example field tags.
+const (
+	fieldImage    = 1 // length-delimited bytes
+	fieldLabel    = 2 // varint
+	fieldFilename = 3 // length-delimited string
+)
+
+// Example is one training sample inside a TFRecord.
+type Example struct {
+	Image    []byte
+	Label    int64
+	Filename string
+}
+
+// Marshal encodes the example.
+func (e *Example) Marshal() []byte {
+	out := make([]byte, 0, len(e.Image)+len(e.Filename)+24)
+	out = appendField(out, fieldImage, e.Image)
+	out = append(out, fieldLabel<<3|0)
+	out = binary.AppendUvarint(out, uint64(e.Label))
+	out = appendField(out, fieldFilename, []byte(e.Filename))
+	return out
+}
+
+func appendField(dst []byte, tag int, data []byte) []byte {
+	dst = append(dst, byte(tag<<3|2))
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	return append(dst, data...)
+}
+
+// UnmarshalExample parses an encoded example, copying the image bytes out
+// (as a framework must, since the record buffer is reused).
+func UnmarshalExample(src []byte) (Example, error) {
+	var e Example
+	i := 0
+	for i < len(src) {
+		key := src[i]
+		i++
+		tag, wire := int(key>>3), key&7
+		switch wire {
+		case 0: // varint
+			v, n := binary.Uvarint(src[i:])
+			if n <= 0 {
+				return e, fmt.Errorf("%w: bad varint", ErrCorrupt)
+			}
+			i += n
+			if tag == fieldLabel {
+				e.Label = int64(v)
+			}
+		case 2: // length-delimited
+			l, n := binary.Uvarint(src[i:])
+			if n <= 0 || uint64(len(src)-i-n) < l {
+				return e, fmt.Errorf("%w: bad field length", ErrCorrupt)
+			}
+			i += n
+			body := src[i : i+int(l)]
+			i += int(l)
+			switch tag {
+			case fieldImage:
+				e.Image = append([]byte(nil), body...)
+			case fieldFilename:
+				e.Filename = string(body)
+			}
+		default:
+			return e, fmt.Errorf("%w: wire type %d", ErrCorrupt, wire)
+		}
+	}
+	return e, nil
+}
+
+// MarshalDataset encodes files as a TFRecord of Examples, the format a
+// TensorFlow input pipeline would consume.
+func MarshalDataset(names []string, payloads [][]byte) ([]byte, error) {
+	if len(names) != len(payloads) {
+		return nil, fmt.Errorf("tfrecord: %d names for %d payloads", len(names), len(payloads))
+	}
+	recs := make([][]byte, len(payloads))
+	for i := range payloads {
+		ex := Example{Image: payloads[i], Label: int64(i % 1000), Filename: names[i]}
+		recs[i] = ex.Marshal()
+	}
+	return Marshal(recs)
+}

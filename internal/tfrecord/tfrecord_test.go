@@ -1,0 +1,161 @@
+package tfrecord
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first record"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 10000),
+		[]byte{0},
+	}
+	blob, err := Marshal(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(blob))
+	for i, want := range payloads {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	blob, err := Marshal([][]byte{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(bytes.NewReader(blob))
+	if err != nil || n != 3 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestCorruptDetected(t *testing.T) {
+	blob, err := Marshal([][]byte{bytes.Repeat([]byte("data"), 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		mut := append([]byte(nil), blob...)
+		mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		_, err := NewReader(bytes.NewReader(mut)).Next()
+		if err == nil {
+			t.Fatal("bit flip escaped both CRCs")
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+	}
+	// Truncations.
+	for _, cut := range []int{1, 11, 12, len(blob) - 1} {
+		if _, err := NewReader(bytes.NewReader(blob[:cut])).Next(); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	f := func(crc uint32) bool { return unmask(mask(crc)) == crc }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		blob, err := Marshal(payloads)
+		if err != nil {
+			return false
+		}
+		r := NewReader(bytes.NewReader(blob))
+		for _, want := range payloads {
+			got, err := r.Next()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExampleRoundTrip(t *testing.T) {
+	ex := Example{Image: bytes.Repeat([]byte{7}, 5000), Label: 42, Filename: "imagenet/d0001/f000123.jpg"}
+	got, err := UnmarshalExample(ex.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Image, ex.Image) || got.Label != 42 || got.Filename != ex.Filename {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestExampleQuick(t *testing.T) {
+	f := func(img []byte, label int64, name string) bool {
+		if label < 0 {
+			label = -label
+		}
+		ex := Example{Image: img, Label: label, Filename: name}
+		got, err := UnmarshalExample(ex.Marshal())
+		return err == nil && bytes.Equal(got.Image, img) && got.Label == label && got.Filename == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalExampleCorrupt(t *testing.T) {
+	ex := Example{Image: []byte("img"), Label: 1, Filename: "f"}
+	blob := ex.Marshal()
+	for cut := 1; cut < len(blob); cut++ {
+		// Truncations must never panic (errors or partial decode are fine).
+		UnmarshalExample(blob[:cut])
+	}
+	if _, err := UnmarshalExample([]byte{0x0d, 0xff}); err == nil {
+		t.Fatal("bad wire type accepted")
+	}
+}
+
+func TestMarshalDataset(t *testing.T) {
+	blob, err := MarshalDataset([]string{"a", "b"}, [][]byte{{1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(blob))
+	for i, wantImg := range [][]byte{{1, 2}, {3}} {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := UnmarshalExample(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ex.Image, wantImg) || int(ex.Label) != i {
+			t.Fatalf("example %d: %+v", i, ex)
+		}
+	}
+	if _, err := MarshalDataset([]string{"a"}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
