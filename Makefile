@@ -1,0 +1,26 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+GO ?= go
+
+.PHONY: ci fmt vet test race bench
+
+ci: fmt vet race test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The concurrency-heavy packages run under the race detector: the mpi
+# runtime, the rpc worker pool, and the store's fetch/cache data path.
+race:
+	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...

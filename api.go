@@ -16,10 +16,11 @@
 //     paper's Eq. 1-3 selection algorithm to measured candidates.
 //
 // Implementation packages live under internal/: codec (the compressor
-// suite), pack (the partition format), mpi (the SPMD runtime), fanstore
-// (the store itself), selector, dataset, tfrecord, fsim/simnet/cluster/
-// trainsim (the evaluation substrates), and experiments (the harness
-// regenerating every table and figure).
+// suite), pack (the partition format), mpi (the SPMD runtime), rpc (the
+// daemon's request/response wire layer), fanstore (the store itself),
+// selector, dataset, tfrecord, fsim/simnet/cluster/trainsim (the
+// evaluation substrates), and experiments (the harness regenerating
+// every table and figure).
 package fanstore
 
 import (
@@ -52,6 +53,10 @@ type (
 	Metrics = store.Metrics
 	// Policy selects the cache replacement strategy.
 	Policy = store.Policy
+	// Backend stores a rank's compressed objects (RAM or spill-to-disk);
+	// Options.Backend accepts custom implementations for testing or
+	// alternative storage tiers.
+	Backend = store.Backend
 )
 
 // Cache policies (§IV-C3; FIFO is the paper's choice).
@@ -120,6 +125,18 @@ func Mount(c *Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node,
 // the shared filesystem (§V-D).
 func RingReplicate(c *Comm, partitions [][]byte) ([][]byte, error) {
 	return store.RingReplicate(c, partitions)
+}
+
+// NewRAMBackend returns the default in-RAM storage backend: compressed
+// objects alias the partition blobs, so uncompressed datasets can be
+// served zero-copy.
+func NewRAMBackend() Backend { return store.NewRAMBackend() }
+
+// NewSpillBackend returns a storage backend keeping partition blobs on
+// local disk under dir (§V-C's burst-buffer mode); only file offsets stay
+// in RAM. prefix namespaces this rank's spill files within dir.
+func NewSpillBackend(dir, prefix string) (Backend, error) {
+	return store.NewSpillBackend(dir, prefix)
 }
 
 // Pack runs the data preparation tool (§V-B): it compresses every input

@@ -41,6 +41,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "rendezvous timeout")
 		spill      = flag.String("spill", "", "local-disk backend directory (optional)")
 		seed       = flag.Int64("seed", 0, "read-order seed (default: rank)")
+		workers    = flag.Int("workers", 0, "concurrent fetch handlers served by this daemon (0: auto)")
+		fetchTO    = flag.Duration("fetch-timeout", 0, "per-attempt deadline on remote fetches (0: none)")
+		fetchRetry = flag.Int("fetch-retries", 0, "extra same-peer attempts after a timed-out or errored fetch")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
@@ -71,7 +74,12 @@ func main() {
 	}
 	defer leave()
 
-	opts := fanstore.Options{SpillDir: *spill}
+	opts := fanstore.Options{
+		SpillDir:     *spill,
+		FetchWorkers: *workers,
+		FetchTimeout: *fetchTO,
+		FetchRetries: *fetchRetry,
+	}
 	node, err := fanstore.Mount(comm, own, bcast, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +133,16 @@ func main() {
 		st.LocalOpens, st.RemoteOpens, st.Decompresses)
 	m := node.Metrics()
 	log.Printf("open latency: %s", m.Open)
+	log.Printf("daemon: served %d (not-found %d, errors %d), peak in-service %d, peak queue %d",
+		st.Daemon.Served, st.Daemon.NotFound, st.Daemon.Errors,
+		st.Daemon.MaxInService, st.Daemon.MaxQueue)
+	if st.Daemon.Served > 0 {
+		log.Printf("service time: %s", m.Service)
+	}
+	if st.RPC.Calls > 0 {
+		log.Printf("fetch calls: %d (%d retries, %d timeouts, %d failovers)",
+			st.RPC.Calls, st.RPC.Retries, st.RPC.Timeouts, st.Failovers)
+	}
 
 	// Collective shutdown: no rank exits while peers may still fetch.
 	if err := node.Close(); err != nil {

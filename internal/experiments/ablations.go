@@ -25,6 +25,9 @@ func Ablations(w io.Writer, opt Options) error {
 	if err := ablationRing(w, opt); err != nil {
 		return err
 	}
+	if err := ablationRouting(w, opt); err != nil {
+		return err
+	}
 	if err := ablationMetadata(w, opt); err != nil {
 		return err
 	}
@@ -142,6 +145,101 @@ func ablationRing(w io.Writer, opt Options) error {
 	}
 	t.Flush()
 	fmt.Fprintf(w, "\n")
+	return nil
+}
+
+// deadBackend simulates an owner rank whose local storage has failed:
+// metadata and partitions load normally, but every read errors.
+type deadBackend struct{ fanstore.Backend }
+
+func (d *deadBackend) Get(path string) (uint16, []byte, error) {
+	return 0, nil, fmt.Errorf("storage offline")
+}
+
+func (d *deadBackend) Peek(path string) (uint16, []byte, bool) { return 0, nil, false }
+
+// ablationRouting shows what replica-aware fetch routing buys beyond the
+// passive local copies of §V-D: with a replica announced, fetch load
+// spreads across owner and replica, and when the owner's storage fails,
+// reads keep succeeding by failing over to the replica.
+func ablationRouting(w io.Writer, opt Options) error {
+	const n, size, rounds, tagStats = 8, 16 << 10, 4, 7100
+	g := dataset.Generator{Kind: dataset.EM, Seed: opt.Seed + 2, Size: size}
+	files := make([]pack.InputFile, n)
+	paths := make([]string, n)
+	for i := range files {
+		f := g.File(i, n)
+		files[i] = pack.InputFile{Path: f.Path, Data: f.Data}
+		paths[i] = f.Path
+	}
+	bundle, err := pack.Build(files, pack.BuildOptions{Partitions: 1, Compressor: "lzsse8"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "--- replica-aware fetch routing (owner rank 1, replica rank 2) ---\n")
+	t := tw(w)
+	fmt.Fprintf(t, "configuration\towner served\treplica served\tfailovers\towner errors\n")
+	for _, mode := range []string{"owner only", "owner + replica", "owner storage failed"} {
+		mode := mode
+		err := mpi.Run(3, func(c *mpi.Comm) error {
+			opts := fanstore.Options{CachePolicy: fanstore.Immediate}
+			var parts [][]byte
+			switch c.Rank() {
+			case 1:
+				parts = bundle.Scatter
+				if mode == "owner storage failed" {
+					opts.Backend = &deadBackend{Backend: fanstore.NewRAMBackend()}
+				}
+			case 2:
+				if mode != "owner only" {
+					opts.Replicas = bundle.Scatter
+				}
+			}
+			node, err := fanstore.Mount(c, parts, nil, opts)
+			if err != nil {
+				return err
+			}
+			defer node.Close()
+			if c.Rank() == 0 {
+				for r := 0; r < rounds; r++ {
+					for _, p := range paths {
+						if _, err := node.ReadFile(p); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if err := c.Barrier(); err != nil { // reads done before sampling stats
+				return err
+			}
+			st := node.Stats()
+			if c.Rank() != 0 {
+				frame := fmt.Sprintf("%d %d", st.Daemon.Served, st.Daemon.Errors)
+				return c.Send(0, tagStats, []byte(frame))
+			}
+			served := make(map[int]int64, 2)
+			errCount := make(map[int]int64, 2)
+			for i := 0; i < 2; i++ {
+				data, src, err := c.Recv(mpi.AnySource, tagStats)
+				if err != nil {
+					return err
+				}
+				var s, e int64
+				if _, err := fmt.Sscanf(string(data), "%d %d", &s, &e); err != nil {
+					return err
+				}
+				served[src], errCount[src] = s, e
+			}
+			fmt.Fprintf(t, "%s\t%d\t%d\t%d\t%d\n",
+				mode, served[1], served[2], st.Failovers, errCount[1])
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	t.Flush()
+	fmt.Fprintf(w, "replicas are fetch targets, not just local copies: load spreads, and owner loss degrades to failover, not failure.\n\n")
 	return nil
 }
 

@@ -48,7 +48,7 @@ func All() []Experiment {
 		{"table7", "Table VII: selected compressors for three cases", Table7},
 		{"fig8", "Fig. 8: application performance under different compressors", Fig8},
 		{"fig9", "Fig. 9: SRGAN and ResNet-50 weak scaling", Fig9},
-		{"ablations", "Ablations: cache policy, ring replication, RAM metadata, chunking", Ablations},
+		{"ablations", "Ablations: cache policy, ring replication, replica routing, RAM metadata, chunking", Ablations},
 	}
 }
 

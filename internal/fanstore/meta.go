@@ -21,6 +21,13 @@ type FileMeta struct {
 	CompressorID uint16
 	Owner        int32 // rank holding the compressed bytes
 	Written      bool  // produced by the write path, not the packed dataset
+
+	// Replicas lists extra ranks whose backend also holds the compressed
+	// object (ring replication, §V-D). It is populated locally from the
+	// replica announcements exchanged during Mount — not serialized by
+	// encodeMetas — and turns replicas from passive local copies into
+	// alternative fetch targets (see fetchRemote's routing).
+	Replicas []int32
 }
 
 // encodeMetas serializes a metadata list for the Allgather exchange.
@@ -95,6 +102,47 @@ func decodeMetas(src []byte) ([]FileMeta, error) {
 		m.Written = src[off] == 1
 		off++
 		out = append(out, m)
+	}
+	return out, nil
+}
+
+// encodePaths serializes a clean-path list for the replica-announcement
+// Allgather: u32 count, then u16 length + bytes per path.
+func encodePaths(paths []string) []byte {
+	size := 4
+	for _, p := range paths {
+		size += 2 + len(p)
+	}
+	out := make([]byte, 0, size)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(paths)))
+	out = append(out, b[:]...)
+	for _, p := range paths {
+		binary.LittleEndian.PutUint16(b[:2], uint16(len(p)))
+		out = append(out, b[:2]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func decodePaths(src []byte) ([]string, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("fanstore: path frame truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	off := 4
+	out := make([]string, 0, minInt(n, (len(src)-off)/2))
+	for i := 0; i < n; i++ {
+		if off+2 > len(src) {
+			return nil, fmt.Errorf("fanstore: path entry %d truncated", i)
+		}
+		pl := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if off+pl > len(src) {
+			return nil, fmt.Errorf("fanstore: path entry %d truncated", i)
+		}
+		out = append(out, string(src[off:off+pl]))
+		off += pl
 	}
 	return out, nil
 }

@@ -11,6 +11,16 @@
 // single-write model: an output file is written once, sealed on close,
 // and its metadata forwarded to the owner rank.
 //
+// The data path is layered:
+//
+//	routing   — fetchRemote picks among the owner and its replicas,
+//	            rotating for load spreading and failing over on error
+//	transport — internal/rpc: framed request/response over mpi.Comm,
+//	            answered concurrently by a bounded daemon worker pool
+//	cache     — the ref-counted decompressed pool (cache.go)
+//	backend   — Backend (backend.go): RAM or spill-to-disk storage of
+//	            the compressed objects
+//
 // The paper's glibc function interception (LD_PRELOAD + trampoline, §V-C)
 // is replaced by the equivalent user-space API surface on Node/File:
 // Open/Read/Lseek/Write/Close/Stat/ReadDir — the same minimal POSIX
@@ -21,8 +31,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,11 +39,12 @@ import (
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
 	"fanstore/internal/pack"
+	"fanstore/internal/rpc"
 )
 
 // Message tags used by the FanStore daemon protocol.
 const (
-	tagFetch     = 1000 // fetch request: [respTag u32][path]
+	tagFetch     = 1000 // fetch request: rpc frame carrying the path
 	tagWriteMeta = 1001 // write metadata forward: encoded []FileMeta
 	tagRing      = 1002 // ring replication of extra partitions
 	tagRespBase  = 1 << 20
@@ -54,29 +63,6 @@ var (
 	ErrRemoteGone = errors.New("fanstore: remote fetch failed")
 )
 
-// localFile is one compressed file held on this node — either in RAM
-// (aliasing the partition blob) or on the local-disk backend (§IV-C1:
-// "if local disks (e.g., SSD) are the back end, the compressed data
-// files are stored in the local file system").
-type localFile struct {
-	compressorID uint16
-	data         []byte // RAM backend: compressed bytes
-	spill        *os.File
-	off, size    int64 // disk backend: payload location in the spill file
-}
-
-// load returns the compressed bytes, reading from disk when spilled.
-func (lf *localFile) load() ([]byte, error) {
-	if lf.spill == nil {
-		return lf.data, nil
-	}
-	buf := make([]byte, lf.size)
-	if _, err := lf.spill.ReadAt(buf, lf.off); err != nil {
-		return nil, fmt.Errorf("fanstore: spill read: %w", err)
-	}
-	return buf, nil
-}
-
 // Options configures a Node.
 type Options struct {
 	// CacheBytes bounds the decompressed data cache (default 256 MiB).
@@ -85,78 +71,121 @@ type Options struct {
 	CachePolicy Policy
 	// Replicas are extra partition blobs this node serves locally
 	// without owning them (typically obtained via RingReplicate when the
-	// node has spare local storage, §V-D). They shorten the data path
-	// for files another rank announces.
+	// node has spare local storage, §V-D). Their paths are announced to
+	// all peers during Mount, so remote opens route to this node as an
+	// alternative to the owner.
 	Replicas [][]byte
 	// SpillDir selects the local-disk backend: partition blobs are
 	// written under this directory and compressed payloads are read back
 	// on demand, freeing RAM for the training program (the paper's SSD
-	// backend). Empty means the RAM backend.
+	// backend). Empty means the RAM backend. Ignored when Backend is set.
 	SpillDir string
+	// Backend overrides the storage backend entirely (nil: RAM, or the
+	// spill backend when SpillDir is set). See NewRAMBackend and
+	// NewSpillBackend.
+	Backend Backend
+	// FetchWorkers bounds the daemon's concurrent fetch handlers
+	// (default: GOMAXPROCS, floored at 4). 1 reproduces the old serial
+	// daemon for comparison benchmarks.
+	FetchWorkers int
+	// FetchTimeout bounds each remote fetch attempt (0: no deadline).
+	FetchTimeout time.Duration
+	// FetchRetries is how many extra attempts follow a timed-out or
+	// errored fetch to the same peer, before routing fails over to the
+	// next replica (default 0).
+	FetchRetries int
+	// FetchBackoff is the pause before the first same-peer retry,
+	// doubling per attempt (default 0: immediate).
+	FetchBackoff time.Duration
 }
 
 // RingReplicate passes each rank's partition blobs to its ring neighbor
 // and returns the blobs received from the predecessor. The paper uses
 // this to place additional partition copies without re-reading the shared
 // filesystem: with roughly equal partition sizes the transfers are
-// contention-free (§V-D). Collective: every rank must call it.
+// contention-free (§V-D). Send and receive are interleaved per partition
+// — at most one blob is in flight each way — so memory stays bounded and
+// a rendezvous-style transport cannot deadlock on large partition sets.
+// Collective: every rank must call it.
 func RingReplicate(comm *mpi.Comm, partitions [][]byte) ([][]byte, error) {
 	next := comm.Neighbor()
 	prev := (comm.Rank() + comm.Size() - 1) % comm.Size()
+
+	// Header exchange: post the count send asynchronously so a
+	// rendezvous transport can match it with the recv below.
 	var cnt [4]byte
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(partitions)))
-	if err := comm.Send(next, tagRing, cnt[:]); err != nil {
-		return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
-	}
-	for _, p := range partitions {
-		if err := comm.Send(next, tagRing, p); err != nil {
-			return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
-		}
-	}
+	hdrErr := make(chan error, 1)
+	go func() { hdrErr <- comm.Send(next, tagRing, cnt[:]) }()
 	hdr, _, err := comm.Recv(prev, tagRing)
+	if serr := <-hdrErr; serr != nil {
+		return nil, fmt.Errorf("fanstore: ring replicate: %w", serr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
 	}
 	if len(hdr) != 4 {
 		return nil, fmt.Errorf("fanstore: ring replicate: bad count frame")
 	}
-	n := int(binary.LittleEndian.Uint32(hdr))
-	out := make([][]byte, 0, n)
-	for i := 0; i < n; i++ {
-		blob, _, err := comm.Recv(prev, tagRing)
-		if err != nil {
-			return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+	nRecv := int(binary.LittleEndian.Uint32(hdr))
+
+	rounds := len(partitions)
+	if nRecv > rounds {
+		rounds = nRecv
+	}
+	out := make([][]byte, 0, nRecv)
+	for i := 0; i < rounds; i++ {
+		var sendErr chan error
+		if i < len(partitions) {
+			sendErr = make(chan error, 1)
+			blob := partitions[i]
+			go func() { sendErr <- comm.Send(next, tagRing, blob) }()
 		}
-		out = append(out, blob)
+		if i < nRecv {
+			blob, _, err := comm.Recv(prev, tagRing)
+			if err != nil {
+				if sendErr != nil {
+					<-sendErr
+				}
+				return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+			}
+			out = append(out, blob)
+		}
+		if sendErr != nil {
+			if err := <-sendErr; err != nil {
+				return nil, fmt.Errorf("fanstore: ring replicate: %w", err)
+			}
+		}
 	}
 	return out, nil
 }
 
 // Stats counts data-path events for tests and benchmarks.
 type Stats struct {
-	LocalOpens   int64
-	RemoteOpens  int64
-	Decompresses int64
-	BytesRead    int64
-	RemoteBytes  int64
-	Cache        CacheStats
+	LocalOpens    int64
+	RemoteOpens   int64
+	ZeroCopyOpens int64 // uncompressed objects served straight from the blob
+	Decompresses  int64
+	BytesRead     int64
+	RemoteBytes   int64
+	Failovers     int64 // fetches re-routed to another replica after an error
+	Cache         CacheStats
+	Daemon        rpc.ServerStats // this rank's fetch daemon (peer-facing)
+	RPC           rpc.ClientStats // this rank's outbound fetch calls
 }
 
-// Node is one rank's FanStore instance: metadata table, local compressed
-// backend, decompressed cache, and the daemon servicing peers.
+// Node is one rank's FanStore instance: metadata table, storage backend,
+// decompressed cache, and the daemon servicing peers.
 type Node struct {
-	comm  *mpi.Comm
-	cache *Cache
+	comm    *mpi.Comm
+	cache   *Cache
+	backend Backend
 
-	mu    sync.RWMutex
-	meta  map[string]*FileMeta
-	dirs  *dirIndex
-	local map[string]localFile // this rank's compressed objects
+	mu   sync.RWMutex
+	meta map[string]*FileMeta
+	dirs *dirIndex
 	// writes holds sealed output files (uncompressed, write-once).
 	writes map[string][]byte
-
-	spillDir string
-	spills   []*os.File
 
 	// inflight deduplicates concurrent opens of the same not-yet-cached
 	// file: one I/O thread fetches and decompresses, the rest wait and
@@ -164,71 +193,103 @@ type Node struct {
 	inflightMu sync.Mutex
 	inflight   map[string]*fetchCall
 
-	respTag atomic.Int64
-	closed  atomic.Bool
-	daemon  sync.WaitGroup
+	server *rpc.Server // answers peers' fetch requests (tagFetch)
+	client *rpc.Client // issues fetch requests to peers
+
+	routeSeq atomic.Int64 // rotates fetch routing across owner+replicas
+	closed   atomic.Bool
+	daemon   sync.WaitGroup // the write-metadata service loop
 
 	localOpens, remoteOpens, decompresses atomic.Int64
+	zeroCopyOpens, failovers              atomic.Int64
 	bytesRead, remoteBytes                atomic.Int64
 
 	openHist  metrics.Histogram // whole open(): lookup + fetch + decompress
 	fetchHist metrics.Histogram // remote fetch round trips only
 }
 
-// Metrics exposes the node's latency histograms: open() end-to-end and
-// the remote-fetch round trip. The bimodal open() distribution (local
-// decompress vs. remote fetch) is the signature of a healthy FanStore
-// deployment.
+// Metrics exposes the node's latency histograms: open() end-to-end, the
+// remote-fetch round trip, and the daemon-side in-service time. The
+// bimodal open() distribution (local decompress vs. remote fetch) is the
+// signature of a healthy FanStore deployment.
 type Metrics struct {
-	Open  metrics.Snapshot
-	Fetch metrics.Snapshot
+	Open    metrics.Snapshot
+	Fetch   metrics.Snapshot
+	Service metrics.Snapshot // daemon worker time per answered fetch
 }
 
 // Metrics snapshots the node's latency histograms.
 func (n *Node) Metrics() Metrics {
-	return Metrics{Open: n.openHist.Snapshot(), Fetch: n.fetchHist.Snapshot()}
+	return Metrics{
+		Open:    n.openHist.Snapshot(),
+		Fetch:   n.fetchHist.Snapshot(),
+		Service: n.server.ServiceTime(),
+	}
 }
 
 // Mount loads this rank's partitions (plus an optional broadcast
-// partition replicated on every rank), exchanges metadata with all peers,
-// and starts the daemon. Every rank of the communicator must call Mount
-// collectively with its own partitions.
+// partition replicated on every rank), exchanges metadata and replica
+// announcements with all peers, and starts the daemon. Every rank of the
+// communicator must call Mount collectively with its own partitions.
 func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node, error) {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 256 << 20
 	}
+	backend := opts.Backend
+	if backend == nil {
+		if opts.SpillDir != "" {
+			var err error
+			backend, err = NewSpillBackend(opts.SpillDir, fmt.Sprintf("rank%04d", comm.Rank()))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			backend = NewRAMBackend()
+		}
+	}
 	n := &Node{
 		comm:     comm,
 		cache:    NewCache(opts.CacheBytes, opts.CachePolicy),
+		backend:  backend,
 		meta:     make(map[string]*FileMeta),
 		dirs:     newDirIndex(),
-		local:    make(map[string]localFile),
 		writes:   make(map[string][]byte),
-		spillDir: opts.SpillDir,
 		inflight: make(map[string]*fetchCall),
 	}
+	n.server = rpc.NewServer(comm, tagFetch, n.handleFetch, rpc.ServerOptions{Workers: opts.FetchWorkers})
+	n.client = rpc.NewClient(comm, tagFetch, tagRespBase, rpc.ClientOptions{
+		Timeout: opts.FetchTimeout,
+		Retries: opts.FetchRetries,
+		Backoff: opts.FetchBackoff,
+	})
 
 	// Load assigned partitions into the local backend (§IV-C1).
 	var localMetas []FileMeta
 	for _, blob := range partitions {
-		metas, err := n.loadPartition(blob, true)
+		metas, err := n.loadPartition(blob)
 		if err != nil {
 			return nil, err
 		}
 		localMetas = append(localMetas, metas...)
 	}
-	// Replica partitions are served locally but announced by their
-	// owners, so they are loaded without announcement.
+	// Replica partitions are served locally but owned by the rank that
+	// announces them; this rank announces only the paths, so peers can
+	// route fetches here as an alternative to the owner.
+	var replicaPaths []string
 	for _, blob := range opts.Replicas {
-		if _, err := n.loadPartition(blob, false); err != nil {
+		metas, err := n.loadPartition(blob)
+		if err != nil {
 			return nil, err
+		}
+		for i := range metas {
+			replicaPaths = append(replicaPaths, metas[i].Path)
 		}
 	}
 	// The broadcast partition (validation data) is local on every rank
 	// but owned by rank 0 for metadata purposes; it is not re-announced
-	// by every rank to keep the Allgather frame linear in dataset size.
+	// by every rank to keep the Allgather frames linear in dataset size.
 	if broadcast != nil {
-		bmetas, err := n.loadPartition(broadcast, comm.Rank() == 0)
+		bmetas, err := n.loadPartition(broadcast)
 		if err != nil {
 			return nil, err
 		}
@@ -253,57 +314,51 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 		}
 	}
 
-	n.daemon.Add(2)
-	go n.serve()
+	// Second collective: replica announcements. Running it after the
+	// metadata exchange guarantees every owner record exists before a
+	// replica rank is attached to it, whatever the rank order.
+	repFrames, err := comm.Allgather(encodePaths(replicaPaths))
+	if err != nil {
+		return nil, fmt.Errorf("fanstore: replica allgather: %w", err)
+	}
+	for r, frame := range repFrames {
+		paths, err := decodePaths(frame)
+		if err != nil {
+			return nil, fmt.Errorf("fanstore: rank %d replicas: %w", r, err)
+		}
+		for _, p := range paths {
+			n.noteReplica(p, r)
+		}
+	}
+
+	n.daemon.Add(1)
+	go n.server.Serve()
 	go n.serveWriteMeta()
 	return n, nil
 }
 
-// loadPartition parses one partition blob into the local backend (RAM,
-// or the spill file when the disk backend is selected) and returns the
-// metadata records this rank should announce (if announce).
-func (n *Node) loadPartition(blob []byte, announce bool) ([]FileMeta, error) {
+// loadPartition parses one partition blob into the backend and returns
+// this rank's metadata records for its entries.
+func (n *Node) loadPartition(blob []byte) ([]FileMeta, error) {
 	p, err := pack.Parse(blob)
 	if err != nil {
 		return nil, err
 	}
-	var spill *os.File
-	if n.spillDir != "" {
-		if err := os.MkdirAll(n.spillDir, 0o755); err != nil {
-			return nil, fmt.Errorf("fanstore: spill dir: %w", err)
-		}
-		name := filepath.Join(n.spillDir, fmt.Sprintf("rank%04d-part%04d.fst", n.comm.Rank(), len(n.spills)))
-		if err := os.WriteFile(name, blob, 0o644); err != nil {
-			return nil, fmt.Errorf("fanstore: spill write: %w", err)
-		}
-		if spill, err = os.Open(name); err != nil {
-			return nil, fmt.Errorf("fanstore: spill open: %w", err)
-		}
-		n.spills = append(n.spills, spill)
+	if err := n.backend.AddPartition(blob, p); err != nil {
+		return nil, err
 	}
-	var metas []FileMeta
+	metas := make([]FileMeta, 0, len(p.Entries))
 	for i := range p.Entries {
 		e := &p.Entries[i]
-		cp := cleanPath(e.Path)
-		if spill != nil {
-			n.local[cp] = localFile{
-				compressorID: e.CompressorID,
-				spill:        spill, off: e.Offset, size: int64(len(e.Data)),
-			}
-		} else {
-			n.local[cp] = localFile{compressorID: e.CompressorID, data: e.Data}
-		}
-		if announce {
-			metas = append(metas, FileMeta{
-				Path:         cp,
-				Size:         e.Stat.Size,
-				Mode:         e.Stat.Mode,
-				MTime:        e.Stat.MTime,
-				CRC32:        e.Stat.CRC32,
-				CompressorID: e.CompressorID,
-				Owner:        int32(n.comm.Rank()),
-			})
-		}
+		metas = append(metas, FileMeta{
+			Path:         cleanPath(e.Path),
+			Size:         e.Stat.Size,
+			Mode:         e.Stat.Mode,
+			MTime:        e.Stat.MTime,
+			CRC32:        e.Stat.CRC32,
+			CompressorID: e.CompressorID,
+			Owner:        int32(n.comm.Rank()),
+		})
 	}
 	return metas, nil
 }
@@ -319,86 +374,103 @@ func (n *Node) addMeta(m FileMeta) {
 	n.mu.Unlock()
 }
 
-// serve is the FanStore daemon loop (§V-A): it answers fetch requests for
-// this rank's compressed objects and accepts forwarded write metadata.
-func (n *Node) serve() {
-	defer n.daemon.Done()
-	for {
-		data, src, err := n.comm.Recv(mpi.AnySource, tagFetch)
-		if err != nil {
-			return // world aborted or unmounted
-		}
-		if len(data) == 0 {
-			return // poison pill from Close
-		}
-		respTag := int(binary.LittleEndian.Uint32(data))
-		path := string(data[4:])
-		n.answerFetch(src, respTag, path)
+// noteReplica records that rank also serves path's compressed object.
+func (n *Node) noteReplica(path string, rank int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.meta[cleanPath(path)]
+	if !ok || m.Owner == int32(rank) {
+		return // replica of an unannounced partition, or the owner itself
 	}
+	for _, r := range m.Replicas {
+		if r == int32(rank) {
+			return
+		}
+	}
+	m.Replicas = append(m.Replicas, int32(rank))
 }
 
-// answerFetch replies with [u16 compressorID][compressed bytes], or an
-// empty frame when the object is unknown (the requester surfaces
+// handleFetch answers one peer fetch on a daemon worker: the response
+// payload is [u16 compressorID][compressed bytes]. Unknown objects map to
+// the transport's not-found status (the requester fails over or surfaces
 // ErrRemoteGone).
-func (n *Node) answerFetch(src, respTag int, path string) {
+func (n *Node) handleFetch(_ int, payload []byte) ([]byte, error) {
+	path := string(payload)
 	n.mu.RLock()
-	lf, ok := n.local[path]
-	var wdata []byte
-	if !ok {
-		// A nil entry is only a Create reservation, not a sealed file.
-		wdata, ok = n.writes[path]
-		ok = ok && wdata != nil
-	}
+	wdata, written := n.writes[path]
 	n.mu.RUnlock()
-	if !ok {
-		_ = n.comm.Send(src, respTag, nil)
-		return
-	}
-	var resp []byte
-	if wdata != nil {
+	if written && wdata != nil {
 		// Output files are stored uncompressed; frame them as "store".
 		comp, err := codec.MustGet("store").Codec.Compress(nil, wdata)
 		if err != nil {
-			_ = n.comm.Send(src, respTag, nil)
-			return
+			return nil, err
 		}
-		resp = make([]byte, 2, 2+len(comp))
+		resp := make([]byte, 2, 2+len(comp))
 		binary.LittleEndian.PutUint16(resp, codec.StoreID)
-		resp = append(resp, comp...)
-	} else {
-		data, err := lf.load()
-		if err != nil {
-			_ = n.comm.Send(src, respTag, nil)
-			return
-		}
-		resp = make([]byte, 2, 2+len(data))
-		binary.LittleEndian.PutUint16(resp, lf.compressorID)
-		resp = append(resp, data...)
+		return append(resp, comp...), nil
 	}
-	_ = n.comm.Send(src, respTag, resp)
+	id, data, err := n.backend.Get(path)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil, rpc.ErrNotFound
+		}
+		return nil, err
+	}
+	resp := make([]byte, 2, 2+len(data))
+	binary.LittleEndian.PutUint16(resp, id)
+	return append(resp, data...), nil
 }
 
-// fetchRemote retrieves the compressed object for path from its owner
-// over the interconnect (§IV-C2) and returns (compressorID, compressed).
-func (n *Node) fetchRemote(owner int, path string) (uint16, []byte, error) {
+// fetchCandidates lists the ranks that can serve m's compressed object,
+// owner first, excluding this rank.
+func (n *Node) fetchCandidates(m *FileMeta) []int {
+	cands := make([]int, 0, 1+len(m.Replicas))
+	self := int32(n.comm.Rank())
+	if m.Owner != self {
+		cands = append(cands, int(m.Owner))
+	}
+	for _, r := range m.Replicas {
+		if r != self && r != m.Owner {
+			cands = append(cands, int(r))
+		}
+	}
+	return cands
+}
+
+// fetchRemote retrieves the compressed object for m over the interconnect
+// (§IV-C2) and returns (compressorID, compressed). Routing is
+// replica-aware: requests rotate across the owner and its replicas to
+// spread load, and an errored peer triggers failover to the next
+// candidate, so a lost rank degrades throughput instead of killing opens.
+func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, error) {
 	start := time.Now()
 	defer func() { n.fetchHist.Observe(time.Since(start)) }()
-	respTag := tagRespBase + int(n.respTag.Add(1))
-	req := make([]byte, 4, 4+len(path))
-	binary.LittleEndian.PutUint32(req, uint32(respTag))
-	req = append(req, path...)
-	if err := n.comm.Send(owner, tagFetch, req); err != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, err)
+	cands := n.fetchCandidates(m)
+	if len(cands) == 0 {
+		return 0, nil, fmt.Errorf("%w: no remote rank serves %q", ErrRemoteGone, m.Path)
 	}
-	resp, _, err := n.comm.Recv(owner, respTag)
-	if err != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, err)
+	first := int(n.routeSeq.Add(1)) % len(cands)
+	var lastErr error
+	for i := 0; i < len(cands); i++ {
+		dst := cands[(first+i)%len(cands)]
+		resp, err := n.client.Call(dst, []byte(m.Path))
+		if err == nil {
+			if len(resp) < 2 {
+				lastErr = fmt.Errorf("rank %d sent a malformed object frame", dst)
+				continue
+			}
+			n.remoteBytes.Add(int64(len(resp)))
+			return binary.LittleEndian.Uint16(resp), resp[2:], nil
+		}
+		lastErr = err
+		if errors.Is(err, mpi.ErrAborted) {
+			break // the world is gone; no candidate can answer
+		}
+		if i+1 < len(cands) {
+			n.failovers.Add(1)
+		}
 	}
-	if len(resp) < 2 {
-		return 0, nil, fmt.Errorf("%w: owner %d has no %q", ErrRemoteGone, owner, path)
-	}
-	n.remoteBytes.Add(int64(len(resp)))
-	return binary.LittleEndian.Uint16(resp), resp[2:], nil
+	return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
 }
 
 // decompress turns a compressed object into file bytes, validating size
@@ -466,35 +538,36 @@ func (n *Node) openBytes(m *FileMeta) ([]byte, error) {
 // produceBytes performs the actual Fig. 2 data path for one file.
 func (n *Node) produceBytes(m *FileMeta) ([]byte, error) {
 	n.mu.RLock()
-	lf, local := n.local[m.Path]
 	wdata, written := n.writes[m.Path]
 	n.mu.RUnlock()
 	switch {
 	case written:
 		n.localOpens.Add(1)
 		return n.cache.Insert(m.Path, wdata), nil
-	case local:
+	case n.backend.Contains(m.Path):
 		n.localOpens.Add(1)
-		// Uncompressed RAM-backend objects are served zero-copy from the
+		// Uncompressed RAM-resident objects are served zero-copy from the
 		// partition blob: no decompression, no cache footprint (the blob
-		// is already resident node-local storage).
-		if lf.data != nil {
-			if payload, ok := codec.Passthrough(lf.compressorID, lf.data); ok {
+		// is already resident node-local storage). Counted separately so
+		// Stats stays truthful for uncompressed datasets.
+		if id, raw, ok := n.backend.Peek(m.Path); ok {
+			if payload, ok := codec.Passthrough(id, raw); ok {
+				n.zeroCopyOpens.Add(1)
 				return payload, nil
 			}
 		}
-		comp, err := lf.load()
+		id, comp, err := n.backend.Get(m.Path)
 		if err != nil {
 			return nil, err
 		}
-		data, err := n.decompress(m, lf.compressorID, comp)
+		data, err := n.decompress(m, id, comp)
 		if err != nil {
 			return nil, err
 		}
 		return n.cache.Insert(m.Path, data), nil
 	default:
 		n.remoteOpens.Add(1)
-		id, comp, err := n.fetchRemote(int(m.Owner), m.Path)
+		id, comp, err := n.fetchRemote(m)
 		if err != nil {
 			return nil, err
 		}
@@ -508,32 +581,36 @@ func (n *Node) produceBytes(m *FileMeta) ([]byte, error) {
 
 // Close shuts the daemon down. It must be called collectively after all
 // ranks are done with the namespace (a barrier inside ensures no peer
-// still needs this rank's objects).
+// still needs this rank's objects). Even when the barrier fails — a peer
+// aborted mid-run — the serve loops are still unblocked so Close cannot
+// hang on daemon.Wait.
 func (n *Node) Close() error {
 	if n.closed.Swap(true) {
 		return nil
 	}
-	if err := n.comm.Barrier(); err == nil {
-		// Poison pills unblock the daemons' Recvs.
-		_ = n.comm.Send(n.comm.Rank(), tagFetch, nil)
-		_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
-	}
+	_ = n.comm.Barrier()
+	// Unblock the daemons unconditionally. On the error path the sends
+	// may fail too, but then the world is aborted and the loops exit on
+	// their closed mailboxes.
+	n.server.Stop()
+	_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
 	n.daemon.Wait()
-	for _, f := range n.spills {
-		f.Close()
-	}
-	return nil
+	return n.backend.Close()
 }
 
 // Stats snapshots the node's data-path counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		LocalOpens:   n.localOpens.Load(),
-		RemoteOpens:  n.remoteOpens.Load(),
-		Decompresses: n.decompresses.Load(),
-		BytesRead:    n.bytesRead.Load(),
-		RemoteBytes:  n.remoteBytes.Load(),
-		Cache:        n.cache.Stats(),
+		LocalOpens:    n.localOpens.Load(),
+		RemoteOpens:   n.remoteOpens.Load(),
+		ZeroCopyOpens: n.zeroCopyOpens.Load(),
+		Decompresses:  n.decompresses.Load(),
+		BytesRead:     n.bytesRead.Load(),
+		RemoteBytes:   n.remoteBytes.Load(),
+		Failovers:     n.failovers.Load(),
+		Cache:         n.cache.Stats(),
+		Daemon:        n.server.Stats(),
+		RPC:           n.client.Stats(),
 	}
 }
 
@@ -547,9 +624,5 @@ func (n *Node) NumFiles() int {
 	return len(n.meta)
 }
 
-// LocalFiles reports how many objects this rank holds locally.
-func (n *Node) LocalFiles() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.local)
-}
+// LocalFiles reports how many objects this rank's backend holds.
+func (n *Node) LocalFiles() int { return n.backend.Len() }

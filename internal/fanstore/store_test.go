@@ -681,7 +681,7 @@ func TestSingleflightFetch(t *testing.T) {
 			// The file rank 1 owns (round-robin: index 1).
 			var remote string
 			for path := range want {
-				if _, local := node.local[cleanPath(path)]; !local {
+				if !node.backend.Contains(cleanPath(path)) {
 					remote = path
 					break
 				}

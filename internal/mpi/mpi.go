@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -22,6 +23,12 @@ const AnySource = -1
 // ErrAborted is returned from blocked operations when another rank's
 // function returned an error and the world shut down.
 var ErrAborted = errors.New("mpi: world aborted")
+
+// ErrTimeout is returned by RecvDeadline when no matching message arrives
+// within the timeout. The message may still arrive later and stay queued
+// in the mailbox, so deadline users should receive on tags they will not
+// reuse (see internal/rpc's per-request response tags).
+var ErrTimeout = errors.New("mpi: recv deadline exceeded")
 
 // message is one in-flight message.
 type message struct {
@@ -56,8 +63,24 @@ func (mb *mailbox) push(m message) error {
 
 // pop blocks until a message matching (src, tag) is available.
 func (mb *mailbox) pop(src, tag int) (message, error) {
+	return mb.popDeadline(src, tag, time.Time{})
+}
+
+// popDeadline is pop with an optional deadline (zero means block forever).
+// A timer goroutine broadcasts the condition at the deadline so waiters
+// can observe the timeout.
+func (mb *mailbox) popDeadline(src, tag int, deadline time.Time) (message, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	timed := !deadline.IsZero()
+	if timed {
+		t := time.AfterFunc(time.Until(deadline), func() {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer t.Stop()
+	}
 	for {
 		for i, m := range mb.queue {
 			if (src == AnySource || m.src == src) && m.tag == tag {
@@ -67,6 +90,9 @@ func (mb *mailbox) pop(src, tag int) (message, error) {
 		}
 		if mb.closed {
 			return message{}, ErrAborted
+		}
+		if timed && !time.Now().Before(deadline) {
+			return message{}, ErrTimeout
 		}
 		mb.cond.Wait()
 	}
@@ -222,6 +248,28 @@ func (c *Comm) recv(src, tag int) ([]byte, int, error) {
 		return nil, 0, fmt.Errorf("mpi: recv from rank %d of %d", src, c.world.size)
 	}
 	m, err := c.world.boxes[c.rank].pop(src, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.data, m.src, nil
+}
+
+// RecvDeadline is Recv bounded by a timeout: it returns ErrTimeout when
+// no matching message arrives in time. A non-positive timeout blocks
+// forever, exactly like Recv. A message that arrives after the deadline
+// stays queued, so callers should use tags they never reuse.
+func (c *Comm) RecvDeadline(src, tag int, timeout time.Duration) ([]byte, int, error) {
+	if tag < 0 {
+		return nil, 0, fmt.Errorf("mpi: negative tags are reserved (tag %d)", tag)
+	}
+	if src != AnySource && (src < 0 || src >= c.world.size) {
+		return nil, 0, fmt.Errorf("mpi: recv from rank %d of %d", src, c.world.size)
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	m, err := c.world.boxes[c.rank].popDeadline(src, tag, deadline)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSendRecv(t *testing.T) {
@@ -284,5 +285,90 @@ func TestInvalidArgs(t *testing.T) {
 	}
 	if err := Run(0, func(*Comm) error { return nil }); err == nil {
 		t.Fatal("world size 0 should fail")
+	}
+}
+
+func TestRecvDeadlineTimeout(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Barrier() // never sends
+		}
+		start := time.Now()
+		_, _, err := c.RecvDeadline(1, 9, 30*time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("want ErrTimeout, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+			return fmt.Errorf("returned after %v, before the deadline", elapsed)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvDeadlineDelivers(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Queued before the recv: must be returned immediately.
+			if err := c.Send(0, 9, []byte("early")); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// Sent while rank 0 is already waiting inside RecvDeadline.
+			time.Sleep(10 * time.Millisecond)
+			return c.Send(0, 9, []byte("late"))
+		}
+		data, src, err := c.RecvDeadline(1, 9, time.Second)
+		if err != nil || src != 1 || string(data) != "early" {
+			return fmt.Errorf("queued: %q from %d, %v", data, src, err)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		data, _, err = c.RecvDeadline(1, 9, 5*time.Second)
+		if err != nil || string(data) != "late" {
+			return fmt.Errorf("in-wait: %q, %v", data, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvDeadlineZeroBlocks(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(20 * time.Millisecond)
+			return c.Send(0, 9, []byte("x"))
+		}
+		// Timeout <= 0 means no deadline: behaves exactly like Recv.
+		data, _, err := c.RecvDeadline(1, 9, 0)
+		if err != nil || string(data) != "x" {
+			return fmt.Errorf("got %q, %v", data, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvDeadlineInvalidArgs(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if _, _, err := c.RecvDeadline(0, -1, time.Millisecond); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		if _, _, err := c.RecvDeadline(5, 1, time.Millisecond); err == nil {
+			return errors.New("out-of-range source accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

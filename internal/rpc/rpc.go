@@ -1,0 +1,339 @@
+// Package rpc is the FanStore daemon's wire layer: typed request/response
+// framing over an mpi.Comm. It factors the transport concerns out of the
+// store (§IV-C2, §V-A) so the data path is layered — storage backend
+// below, fetch routing above, and this package in between.
+//
+// A Server answers requests concurrently through a bounded worker pool,
+// so one slow handler (a spill read, a large response copy) does not
+// head-of-line-block every waiting rank. A Client issues calls with
+// per-attempt deadlines and retry/backoff, allocating a unique response
+// tag per attempt so late replies can never be mismatched.
+//
+// Wire format. Request frame, sent to the server's request tag:
+//
+//	u32 respTag | payload          (len == 0 is the shutdown pill)
+//
+// Response frame, sent back on respTag:
+//
+//	u8 status | payload            (payload is the error text on failure)
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/mpi"
+)
+
+// Response status bytes.
+const (
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+)
+
+// Errors surfaced by Client.Call.
+var (
+	// ErrNotFound reports the handler had no object for the request.
+	// It is terminal: the same peer will keep not having it, so Call
+	// does not retry (routing layers fail over to a replica instead).
+	ErrNotFound = errors.New("rpc: object not found")
+	// ErrRemote wraps a handler-side failure (spill read error, ...).
+	ErrRemote = errors.New("rpc: remote handler error")
+	// ErrTimeout reports that an attempt exceeded its deadline.
+	ErrTimeout = errors.New("rpc: call timed out")
+)
+
+// Handler services one request and returns the response payload.
+// Returning an error wrapping ErrNotFound maps to a not-found status;
+// any other error maps to a remote-error status carrying the text.
+type Handler func(src int, req []byte) ([]byte, error)
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Workers bounds concurrent handler invocations. 0 means
+	// GOMAXPROCS, floored at 4 — fetch handlers block on backend I/O,
+	// so even a single-core node benefits from a few in flight.
+	Workers int
+	// Queue bounds requests accepted but not yet in service
+	// (0 means 4x workers, at least 16). A full queue backpressures
+	// the receive loop rather than growing without bound.
+	Queue int
+}
+
+// ServerStats snapshots the daemon-side counters.
+type ServerStats struct {
+	Served       int64 // requests answered successfully
+	NotFound     int64 // requests answered with a not-found status
+	Errors       int64 // requests answered with an error status
+	QueueDepth   int32 // requests currently waiting for a worker
+	MaxQueue     int32 // high-water mark of QueueDepth
+	InService    int32 // requests currently inside a handler
+	MaxInService int32 // high-water mark of InService
+}
+
+// request is one dequeued unit of work.
+type request struct {
+	src     int
+	respTag int
+	payload []byte
+}
+
+// Server answers requests on one tag of a communicator through a bounded
+// worker pool. Start it with Serve (usually in a goroutine); Stop unblocks
+// the receive loop and drains the pool.
+type Server struct {
+	comm    *mpi.Comm
+	tag     int
+	handler Handler
+	queue   chan request
+	wg      sync.WaitGroup // receive loop + workers
+
+	served, notFound, errors atomic.Int64
+	queueDepth, inService    atomic.Int32
+	maxQueue, maxInService   atomic.Int32
+	serviceHist              metrics.Histogram // handler + reply time
+}
+
+// NewServer builds a server for tag on comm. Call Serve to start it.
+func NewServer(comm *mpi.Comm, tag int, handler Handler, opts ServerOptions) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 4 {
+			workers = 4
+		}
+	}
+	depth := opts.Queue
+	if depth <= 0 {
+		depth = 4 * workers
+		if depth < 16 {
+			depth = 16
+		}
+	}
+	s := &Server{
+		comm:    comm,
+		tag:     tag,
+		handler: handler,
+		queue:   make(chan request, depth),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Serve receives requests until the world aborts or a shutdown pill
+// (empty frame) arrives, then drains and stops the worker pool. It is
+// the replacement for the store's old serial serve loop: requests are
+// only parsed here; all handler work happens on the pool.
+func (s *Server) Serve() {
+	defer func() {
+		close(s.queue)
+		s.wg.Wait()
+	}()
+	for {
+		data, src, err := s.comm.Recv(mpi.AnySource, s.tag)
+		if err != nil {
+			return // world aborted or transport closed
+		}
+		if len(data) == 0 {
+			return // shutdown pill from Stop
+		}
+		if len(data) < 4 {
+			continue // malformed frame; nothing to even reply to
+		}
+		respTag := int(binary.LittleEndian.Uint32(data))
+		gaugeUp(&s.queueDepth, &s.maxQueue)
+		s.queue <- request{src: src, respTag: respTag, payload: data[4:]}
+	}
+}
+
+// worker services queued requests until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		s.queueDepth.Add(-1)
+		gaugeUp(&s.inService, &s.maxInService)
+		start := time.Now()
+		s.answer(req)
+		s.serviceHist.Observe(time.Since(start))
+		s.inService.Add(-1)
+	}
+}
+
+// answer runs the handler and sends the status-framed response.
+func (s *Server) answer(req request) {
+	payload, err := s.handler(req.src, req.payload)
+	var resp []byte
+	switch {
+	case err == nil:
+		resp = make([]byte, 1, 1+len(payload))
+		resp[0] = statusOK
+		resp = append(resp, payload...)
+		s.served.Add(1)
+	case errors.Is(err, ErrNotFound):
+		resp = []byte{statusNotFound}
+		s.notFound.Add(1)
+	default:
+		msg := err.Error()
+		resp = make([]byte, 1, 1+len(msg))
+		resp[0] = statusError
+		resp = append(resp, msg...)
+		s.errors.Add(1)
+	}
+	_ = s.comm.Send(req.src, req.respTag, resp)
+}
+
+// Stop unblocks Serve with a self-addressed shutdown pill and waits for
+// the pool to drain. It is safe to call even when the world has already
+// aborted: the failed pill send is ignored because the aborted mailbox
+// unblocks Serve on its own.
+func (s *Server) Stop() {
+	_ = s.comm.Send(s.comm.Rank(), s.tag, nil)
+	s.wg.Wait()
+}
+
+// Wait blocks until the receive loop and every worker have exited.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Served:       s.served.Load(),
+		NotFound:     s.notFound.Load(),
+		Errors:       s.errors.Load(),
+		QueueDepth:   s.queueDepth.Load(),
+		MaxQueue:     s.maxQueue.Load(),
+		InService:    s.inService.Load(),
+		MaxInService: s.maxInService.Load(),
+	}
+}
+
+// ServiceTime snapshots the in-service time histogram (handler + reply).
+func (s *Server) ServiceTime() metrics.Snapshot { return s.serviceHist.Snapshot() }
+
+// gaugeUp increments a gauge and folds the new value into its high-water
+// mark.
+func gaugeUp(gauge, max *atomic.Int32) {
+	v := gauge.Add(1)
+	for {
+		m := max.Load()
+		if v <= m || max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// ClientOptions configures per-call behaviour.
+type ClientOptions struct {
+	// Timeout bounds each attempt (0 means block until the reply).
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a timed-out or
+	// remote-errored attempt. Not-found and world-abort errors are
+	// terminal and never retried.
+	Retries int
+	// Backoff is the pause before the first retry; it doubles per
+	// attempt. 0 means retry immediately.
+	Backoff time.Duration
+}
+
+// ClientStats snapshots the caller-side counters.
+type ClientStats struct {
+	Calls    int64
+	Retries  int64
+	Timeouts int64
+}
+
+// Client issues framed calls to Servers listening on tag. Each attempt
+// allocates a fresh response tag from respBase upward, so a reply that
+// arrives after its deadline can never satisfy a later call.
+type Client struct {
+	comm     *mpi.Comm
+	tag      int
+	respBase int
+	opts     ClientOptions
+
+	seq                      atomic.Int64
+	calls, retries, timeouts atomic.Int64
+}
+
+// NewClient builds a client for servers on tag. respBase is the first of
+// a tag range reserved for responses; it must not collide with any other
+// tag traffic on the communicator.
+func NewClient(comm *mpi.Comm, tag, respBase int, opts ClientOptions) *Client {
+	return &Client{comm: comm, tag: tag, respBase: respBase, opts: opts}
+}
+
+// Call sends req to dst and returns the response payload, retrying per
+// the client options. The returned error wraps ErrNotFound, ErrRemote,
+// or ErrTimeout so routing layers can decide whether to fail over.
+func (c *Client) Call(dst int, req []byte) ([]byte, error) {
+	c.calls.Add(1)
+	backoff := c.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		resp, err := c.attempt(dst, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrNotFound) || errors.Is(err, mpi.ErrAborted) {
+			break // terminal: retrying the same peer cannot help
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt performs one framed round trip.
+func (c *Client) attempt(dst int, req []byte) ([]byte, error) {
+	respTag := c.respBase + int(c.seq.Add(1))
+	frame := make([]byte, 4, 4+len(req))
+	binary.LittleEndian.PutUint32(frame, uint32(respTag))
+	frame = append(frame, req...)
+	if err := c.comm.Send(dst, c.tag, frame); err != nil {
+		return nil, fmt.Errorf("rpc: send to rank %d: %w", dst, err)
+	}
+	resp, _, err := c.comm.RecvDeadline(dst, respTag, c.opts.Timeout)
+	if errors.Is(err, mpi.ErrTimeout) {
+		c.timeouts.Add(1)
+		return nil, fmt.Errorf("%w: rank %d after %v", ErrTimeout, dst, c.opts.Timeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("rpc: recv from rank %d: %w", dst, err)
+	}
+	if len(resp) < 1 {
+		return nil, fmt.Errorf("%w: rank %d sent an empty frame", ErrRemote, dst)
+	}
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusNotFound:
+		return nil, fmt.Errorf("%w: rank %d", ErrNotFound, dst)
+	default:
+		return nil, fmt.Errorf("%w: rank %d: %s", ErrRemote, dst, resp[1:])
+	}
+}
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:    c.calls.Load(),
+		Retries:  c.retries.Load(),
+		Timeouts: c.timeouts.Load(),
+	}
+}

@@ -1,0 +1,258 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fanstore/internal/mpi"
+)
+
+// serveOn starts a server on rank with the handler and returns it; the
+// caller stops it after the closing barrier.
+func serveOn(c *mpi.Comm, h Handler, opts ServerOptions) *Server {
+	s := NewServer(c, 500, h, opts)
+	go s.Serve()
+	return s
+}
+
+func TestCallBasic(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			s := serveOn(c, func(src int, req []byte) ([]byte, error) {
+				return append(bytes.ToUpper(req), byte('0'+src)), nil
+			}, ServerOptions{})
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			s.Stop()
+			st := s.Stats()
+			if st.Served != 3 || st.QueueDepth != 0 || st.InService != 0 {
+				return fmt.Errorf("server stats %+v", st)
+			}
+			if s.ServiceTime().Count != 3 {
+				return fmt.Errorf("service histogram count %d", s.ServiceTime().Count)
+			}
+			return nil
+		}
+		cl := NewClient(c, 500, 1<<20, ClientOptions{})
+		for i := 0; i < 3; i++ {
+			resp, err := cl.Call(1, []byte("ping"))
+			if err != nil {
+				return err
+			}
+			if string(resp) != "PING0" {
+				return fmt.Errorf("resp %q", resp)
+			}
+		}
+		if st := cl.Stats(); st.Calls != 3 || st.Retries != 0 {
+			return fmt.Errorf("client stats %+v", st)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotFoundAndRemoteError(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			s := serveOn(c, func(_ int, req []byte) ([]byte, error) {
+				switch string(req) {
+				case "missing":
+					return nil, fmt.Errorf("%w: nope", ErrNotFound)
+				case "boom":
+					return nil, errors.New("handler exploded")
+				}
+				return req, nil
+			}, ServerOptions{})
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			s.Stop()
+			if st := s.Stats(); st.NotFound != 1 || st.Errors != 1 || st.Served != 1 {
+				return fmt.Errorf("server stats %+v", st)
+			}
+			return nil
+		}
+		cl := NewClient(c, 500, 1<<20, ClientOptions{})
+		if _, err := cl.Call(1, []byte("missing")); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("missing: %v", err)
+		}
+		if _, err := cl.Call(1, []byte("boom")); !errors.Is(err, ErrRemote) ||
+			!strings.Contains(err.Error(), "handler exploded") {
+			return fmt.Errorf("boom: %v", err)
+		}
+		if resp, err := cl.Call(1, []byte("ok")); err != nil || string(resp) != "ok" {
+			return fmt.Errorf("ok: %q %v", resp, err)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallDeadline(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		release := make(chan struct{})
+		if c.Rank() == 1 {
+			s := serveOn(c, func(_ int, req []byte) ([]byte, error) {
+				if string(req) == "slow" {
+					<-release
+				}
+				return req, nil
+			}, ServerOptions{Workers: 2})
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			close(release)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			s.Stop()
+			return nil
+		}
+		cl := NewClient(c, 500, 1<<20, ClientOptions{Timeout: 50 * time.Millisecond})
+		if _, err := cl.Call(1, []byte("slow")); !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("slow call: %v", err)
+		}
+		if st := cl.Stats(); st.Timeouts != 1 {
+			return fmt.Errorf("client stats %+v", st)
+		}
+		// A fast call on the same client still works: the stale reply
+		// cannot be mismatched because response tags are never reused.
+		if resp, err := cl.Call(1, []byte("fast")); err != nil || string(resp) != "fast" {
+			return fmt.Errorf("fast call: %q %v", resp, err)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			var fails atomic.Int32
+			s := serveOn(c, func(_ int, req []byte) ([]byte, error) {
+				if fails.Add(1) <= 2 {
+					return nil, errors.New("transient")
+				}
+				return req, nil
+			}, ServerOptions{})
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			s.Stop()
+			if st := s.Stats(); st.Errors != 2 || st.Served != 1 {
+				return fmt.Errorf("server stats %+v", st)
+			}
+			return nil
+		}
+		cl := NewClient(c, 500, 1<<20, ClientOptions{Retries: 3, Backoff: time.Millisecond})
+		resp, err := cl.Call(1, []byte("eventually"))
+		if err != nil || string(resp) != "eventually" {
+			return fmt.Errorf("call: %q %v", resp, err)
+		}
+		if st := cl.Stats(); st.Retries != 2 {
+			return fmt.Errorf("client stats %+v", st)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerPoolStress hammers one server from three ranks' concurrent
+// callers and checks the pool really runs handlers concurrently (run
+// with -race in CI).
+func TestWorkerPoolStress(t *testing.T) {
+	const ranks, goroutines, calls = 4, 8, 10
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			s := serveOn(c, func(_ int, req []byte) ([]byte, error) {
+				time.Sleep(time.Millisecond) // give requests time to pile up
+				return req, nil
+			}, ServerOptions{Workers: goroutines})
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			s.Stop()
+			st := s.Stats()
+			want := int64((ranks - 1) * goroutines * calls)
+			if st.Served != want {
+				return fmt.Errorf("served %d, want %d", st.Served, want)
+			}
+			if st.MaxInService <= 1 {
+				return fmt.Errorf("pool never ran concurrently: %+v", st)
+			}
+			return nil
+		}
+		cl := NewClient(c, 500, 1<<20, ClientOptions{})
+		var wg sync.WaitGroup
+		errCh := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					req := []byte(fmt.Sprintf("r%d-g%d-i%d", c.Rank(), g, i))
+					resp, err := cl.Call(0, req)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !bytes.Equal(resp, req) {
+						errCh <- fmt.Errorf("resp %q for %q", resp, req)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerStopOnAbortedWorld checks Stop does not hang after the world
+// shut down underneath the server.
+func TestServerStopOnAbortedWorld(t *testing.T) {
+	boom := errors.New("boom")
+	var s *Server
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			s = serveOn(c, func(_ int, req []byte) ([]byte, error) { return req, nil }, ServerOptions{})
+			return boom // aborts the world with the server running
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("world error: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung after world abort")
+	}
+}
