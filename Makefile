@@ -18,9 +18,10 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # The concurrency-heavy packages run under the race detector: the mpi
-# runtime, the rpc worker pool, and the store's fetch/cache data path.
+# runtime, the rpc worker pool, the store's fetch/cache data path, the
+# prefetch pipeline, and the training-loop simulator that drives them.
 race:
-	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/...
+	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/prefetch/... ./internal/trainsim/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...

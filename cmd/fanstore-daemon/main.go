@@ -44,6 +44,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent fetch handlers served by this daemon (0: auto)")
 		fetchTO    = flag.Duration("fetch-timeout", 0, "per-attempt deadline on remote fetches (0: none)")
 		fetchRetry = flag.Int("fetch-retries", 0, "extra same-peer attempts after a timed-out or errored fetch")
+		lookahead  = flag.Int("prefetch", 0, "reads of look-ahead staged via batched FetchMany (0: fetch on demand)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
@@ -117,10 +118,24 @@ func main() {
 		s = int64(*rank + 1)
 	}
 	rng := rand.New(rand.NewSource(s))
+	// The read order is drawn up front — the training-loop shape, where
+	// the sampler's sequence is known ahead of the consumer — so the
+	// upcoming window can be announced to the batched prefetcher.
+	sequence := make([]string, *reads)
+	for i := range sequence {
+		sequence[i] = paths[rng.Intn(len(paths))]
+	}
 	start := time.Now()
 	var byteCount int64
-	for i := 0; i < *reads; i++ {
-		data, err := node.ReadFile(paths[rng.Intn(len(paths))])
+	for i, path := range sequence {
+		if *lookahead > 0 && i%*lookahead == 0 {
+			end := i + 2**lookahead
+			if end > len(sequence) {
+				end = len(sequence)
+			}
+			node.Prefetch(sequence[i:end])
+		}
+		data, err := node.ReadFile(path)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -142,6 +157,11 @@ func main() {
 	if st.RPC.Calls > 0 {
 		log.Printf("fetch calls: %d (%d retries, %d timeouts, %d failovers)",
 			st.RPC.Calls, st.RPC.Retries, st.RPC.Timeouts, st.Failovers)
+	}
+	if st.BatchedFetches > 0 {
+		log.Printf("prefetch: %d batched fetches staged entries serving %d opens (cache hit rate %.0f%%)",
+			st.BatchedFetches, st.PrefetchedOpens,
+			float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses)*100)
 	}
 
 	// Collective shutdown: no rank exits while peers may still fetch.

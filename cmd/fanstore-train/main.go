@@ -34,6 +34,7 @@ func main() {
 		batch      = flag.Int("batch", 8, "files per rank per iteration")
 		compressor = flag.String("compressor", "lzsse8", "codec configuration or alias")
 		workers    = flag.Int("io-threads", 4, "prefetch I/O threads per rank")
+		lookahead  = flag.Int("prefetch", 8, "iterations of look-ahead announced to the store's batched prefetcher (0 disables)")
 		policy     = flag.String("cache-policy", "fifo", "fifo|lru|immediate")
 		cacheMB    = flag.Int("cache-mb", 64, "decompressed cache size per rank (MiB)")
 		spill      = flag.String("spill", "", "local-disk backend directory (empty = RAM)")
@@ -50,9 +51,6 @@ func main() {
 	pol, ok := policyByName(*policy)
 	if !ok {
 		log.Fatalf("unknown cache policy %q", *policy)
-	}
-	if *files%(*batch**ranks) != 0 {
-		log.Fatalf("files (%d) must be a multiple of batch*ranks (%d)", *files, *batch**ranks)
 	}
 
 	// Data preparation (§V-B): done once, outside the job.
@@ -78,7 +76,10 @@ func main() {
 	if *tcp {
 		launch = fanstore.RunTCP
 	}
-	itersPerEpoch := *files / (*batch * *ranks)
+	// The sampler emits the tail partial batch, so an uneven files /
+	// (batch*ranks) split trains on every sample with aligned per-rank
+	// iteration counts instead of silently dropping the remainder.
+	itersPerEpoch := prefetch.SamplerIters(*files, *batch, *ranks)
 
 	err = launch(*ranks, func(c *fanstore.Comm) error {
 		opts := fanstore.Options{
@@ -111,15 +112,24 @@ func main() {
 		}
 
 		start := time.Now()
+		var samples int64
 		for epoch := startEpoch; epoch < startEpoch+*epochs; epoch++ {
 			order := rand.New(rand.NewSource(int64(epoch))).Perm(*files)
 			shuffled := make([]string, *files)
 			for i, idx := range order {
 				shuffled[i] = paths[idx]
 			}
+			popts := prefetch.Options{Workers: *workers, Depth: 2}
+			if *lookahead > 0 {
+				// Announce the sampler's upcoming window to the node so
+				// remote objects arrive in batched FetchMany round trips
+				// and land in the cache before the I/O threads open them.
+				popts.Prefetcher = node
+				popts.Lookahead = *lookahead
+			}
 			pipe := prefetch.New(node,
 				prefetch.RangeSampler(shuffled, *batch, c.Rank(), *ranks),
-				prefetch.Options{Workers: *workers, Depth: 2})
+				popts)
 			for it := 0; it < itersPerEpoch; it++ {
 				b, ok, err := pipe.Next()
 				if err != nil {
@@ -129,6 +139,7 @@ func main() {
 				if !ok {
 					break
 				}
+				samples += int64(len(b.Data))
 				var grad uint32
 				for _, img := range b.Data {
 					grad ^= crc32.ChecksumIEEE(img)
@@ -155,11 +166,11 @@ func main() {
 		}
 
 		st := node.Stats()
-		samples := *epochs * itersPerEpoch * *batch
-		fmt.Printf("rank %d: %.0f samples/s | local %d remote %d | decompress %d | cache hits=%d evict=%d\n",
+		fmt.Printf("rank %d: %.0f samples/s | local %d remote %d | decompress %d | cache hits=%d evict=%d | prefetched opens=%d (batched fetches=%d)\n",
 			c.Rank(), float64(samples)/time.Since(start).Seconds(),
 			st.LocalOpens, st.RemoteOpens, st.Decompresses,
-			st.Cache.Hits, st.Cache.Evictions)
+			st.Cache.Hits, st.Cache.Evictions,
+			st.PrefetchedOpens, st.BatchedFetches)
 		return nil
 	})
 	if err != nil {

@@ -42,6 +42,9 @@ type cacheEntry struct {
 	data []byte
 	refs int
 	elem *list.Element
+	// prefetched marks an entry staged by InsertIdle that has not been
+	// acquired yet; the first Acquire counts it as a prefetched open.
+	prefetched bool
 }
 
 // CacheStats reports cache behaviour for tests and benchmarks.
@@ -51,6 +54,13 @@ type CacheStats struct {
 	Evictions int64
 	Used      int64
 	Entries   int
+	// Pinned is the number of entries with live references. Outside an
+	// open file's lifetime it must be 0 — growth here means a pin leak.
+	Pinned int
+	// DoubleReleases counts Release calls with no pin to release — a
+	// caller bug (the pool tolerates it rather than corrupting shared
+	// state, but surfaces it here so unpin bugs stop being masked).
+	DoubleReleases int64
 }
 
 // Cache is the thread-safe decompressed-data pool of Fig. 4: a hash table
@@ -65,7 +75,8 @@ type Cache struct {
 	order    *list.List // eviction order: front = next victim
 	policy   Policy
 
-	hits, misses, evictions int64
+	hits, misses, evictions        int64
+	prefetchedHits, doubleReleases int64
 }
 
 // NewCache builds a cache bounded to capacity bytes of decompressed data.
@@ -92,10 +103,23 @@ func (c *Cache) Acquire(path string) ([]byte, bool) {
 	}
 	c.hits++
 	e.refs++
+	if e.prefetched {
+		e.prefetched = false
+		c.prefetchedHits++
+	}
 	if c.policy == LRU {
 		c.order.MoveToBack(e.elem)
 	}
 	return e.data, true
+}
+
+// Contains reports whether path is cached, without pinning it or
+// counting a hit/miss (the prefetcher uses it to skip staged work).
+func (c *Cache) Contains(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[path]
+	return ok
 }
 
 // Insert adds decompressed data for path pinned once (refs=1) and returns
@@ -118,6 +142,26 @@ func (c *Cache) Insert(path string, data []byte) []byte {
 	return data
 }
 
+// InsertIdle stages decompressed data for path unpinned (refs=0), for
+// the look-ahead prefetcher: the entry is immediately evictable, so a
+// canceled epoch cannot wedge the pool with pins nobody will release,
+// and the first Acquire of it is counted as a prefetched open. An
+// existing entry wins (nothing is replaced); reports whether the data
+// was staged.
+func (c *Cache) InsertIdle(path string, data []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[path]; ok {
+		return false
+	}
+	e := &cacheEntry{path: path, data: data, prefetched: true}
+	e.elem = c.order.PushBack(e)
+	c.entries[path] = e
+	c.used += int64(len(data))
+	c.evictLocked()
+	return true
+}
+
 // Release unpins one reference. With the Immediate policy the entry is
 // dropped at refs==0; otherwise it stays until capacity pressure.
 func (c *Cache) Release(path string) {
@@ -126,7 +170,9 @@ func (c *Cache) Release(path string) {
 	e, ok := c.entries[path]
 	if !ok || e.refs == 0 {
 		// Double release is a caller bug; tolerate it rather than
-		// corrupting the pool shared by all I/O threads.
+		// corrupting the pool shared by all I/O threads, but count it
+		// so the bug is visible in CacheStats.
+		c.doubleReleases++
 		return
 	}
 	e.refs--
@@ -163,13 +209,29 @@ func (c *Cache) removeLocked(e *cacheEntry) {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Used:      c.used,
-		Entries:   len(c.entries),
+	pinned := 0
+	for _, e := range c.entries {
+		if e.refs > 0 {
+			pinned++
+		}
 	}
+	return CacheStats{
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		Used:           c.used,
+		Entries:        len(c.entries),
+		Pinned:         pinned,
+		DoubleReleases: c.doubleReleases,
+	}
+}
+
+// prefetchedOpens reports how many Acquires were served by an entry
+// staged by InsertIdle (the node surfaces it as Stats.PrefetchedOpens).
+func (c *Cache) prefetchedOpens() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prefetchedHits
 }
 
 // pinned reports the number of entries with live references (test hook).

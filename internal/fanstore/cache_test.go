@@ -126,8 +126,50 @@ func TestCacheDoubleReleaseTolerated(t *testing.T) {
 	c.Release("a")
 	c.Release("a") // bug in caller: must not panic or corrupt
 	c.Release("nonexistent")
-	if st := c.Stats(); st.Entries > 1 {
+	st := c.Stats()
+	if st.Entries > 1 {
 		t.Fatalf("stats corrupted: %+v", st)
+	}
+	// Both stray Releases must be surfaced, not silently swallowed.
+	if st.DoubleReleases != 2 {
+		t.Fatalf("double releases = %d, want 2", st.DoubleReleases)
+	}
+	if c.Stats().Pinned != 0 {
+		t.Fatal("stray releases must not leave phantom pins")
+	}
+}
+
+func TestCacheInsertIdleStaysEvictable(t *testing.T) {
+	c := NewCache(100, FIFO)
+	if !c.InsertIdle("a", make([]byte, 60)) {
+		t.Fatal("InsertIdle into empty cache must stage")
+	}
+	if st := c.Stats(); st.Pinned != 0 {
+		t.Fatalf("idle entry is pinned: %+v", st)
+	}
+	// An existing entry wins; nothing is replaced or re-staged.
+	if c.InsertIdle("a", make([]byte, 60)) {
+		t.Fatal("InsertIdle must not replace an existing entry")
+	}
+	// Unpinned staged entries yield to capacity pressure immediately.
+	c.Insert("b", make([]byte, 60))
+	if c.Contains("a") {
+		t.Fatal("idle entry survived eviction pressure from a pinned insert")
+	}
+	c.Release("b")
+	// The first Acquire of a staged entry counts as a prefetched open;
+	// later acquires are plain hits.
+	c.InsertIdle("p", []byte("staged"))
+	if _, ok := c.Acquire("p"); !ok {
+		t.Fatal("staged entry must be acquirable")
+	}
+	c.Release("p")
+	if _, ok := c.Acquire("p"); !ok {
+		t.Fatal("entry must survive under FIFO")
+	}
+	c.Release("p")
+	if got := c.prefetchedOpens(); got != 1 {
+		t.Fatalf("prefetched opens = %d, want 1", got)
 	}
 }
 

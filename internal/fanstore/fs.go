@@ -28,7 +28,8 @@ type File struct {
 
 	mu       sync.Mutex
 	off      int64
-	data     []byte // read mode: pinned cache buffer
+	data     []byte // read mode: cache buffer or zero-copy blob alias
+	pinned   bool   // read mode: data holds a cache pin Close must release
 	writable bool
 	wbuf     []byte
 	closed   bool
@@ -54,11 +55,11 @@ func (n *Node) Open(path string) (*File, error) {
 		}
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
-	data, err := n.openBytes(m)
+	data, pinned, err := n.openBytes(m)
 	if err != nil {
 		return nil, err
 	}
-	return &File{node: n, path: cp, data: data}, nil
+	return &File{node: n, path: cp, data: data, pinned: pinned}, nil
 }
 
 // Create opens a new output file for writing. FanStore's restricted
@@ -199,11 +200,17 @@ func (f *File) Close() error {
 	}
 	f.closed = true
 	writable := f.writable
+	pinned := f.pinned
 	buf := f.wbuf
 	f.mu.Unlock()
 
 	if !writable {
-		f.node.cache.Release(f.path)
+		// Zero-copy fds never inserted into the cache, so they hold no
+		// pin; releasing one anyway would mask real unpin bugs behind
+		// the cache's double-release tolerance.
+		if pinned {
+			f.node.cache.Release(f.path)
+		}
 		return nil
 	}
 	return f.node.seal(f.path, buf)

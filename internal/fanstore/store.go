@@ -44,11 +44,30 @@ import (
 
 // Message tags used by the FanStore daemon protocol.
 const (
-	tagFetch     = 1000 // fetch request: rpc frame carrying the path
+	tagFetch     = 1000 // fetch request: rpc frame carrying an op + body
 	tagWriteMeta = 1001 // write metadata forward: encoded []FileMeta
 	tagRing      = 1002 // ring replication of extra partitions
 	tagRespBase  = 1 << 20
 )
+
+// Fetch request ops, the first byte of every tagFetch payload. Both ops
+// are answered by the same daemon worker pool.
+const (
+	// opFetchOne requests one object; the body is the path, the response
+	// payload is [u16 compressorID][compressed bytes].
+	opFetchOne = byte(0)
+	// opFetchMany requests a batch: the body is rpc.EncodeKeys(paths),
+	// the response an rpc.EncodeItems frame with per-item status, each
+	// OK payload shaped like an opFetchOne response. One round trip
+	// carries the whole look-ahead window.
+	opFetchMany = byte(1)
+)
+
+// batchGetConcurrency bounds concurrent backend reads inside one
+// FetchMany handler, so a batch over a spill backend overlaps its disk
+// reads instead of serializing them, without letting one huge batch
+// monopolize the backend.
+const batchGetConcurrency = 8
 
 // Errors returned by the FS surface.
 var (
@@ -162,16 +181,18 @@ func RingReplicate(comm *mpi.Comm, partitions [][]byte) ([][]byte, error) {
 
 // Stats counts data-path events for tests and benchmarks.
 type Stats struct {
-	LocalOpens    int64
-	RemoteOpens   int64
-	ZeroCopyOpens int64 // uncompressed objects served straight from the blob
-	Decompresses  int64
-	BytesRead     int64
-	RemoteBytes   int64
-	Failovers     int64 // fetches re-routed to another replica after an error
-	Cache         CacheStats
-	Daemon        rpc.ServerStats // this rank's fetch daemon (peer-facing)
-	RPC           rpc.ClientStats // this rank's outbound fetch calls
+	LocalOpens      int64
+	RemoteOpens     int64
+	ZeroCopyOpens   int64 // uncompressed objects served straight from the blob
+	Decompresses    int64
+	BytesRead       int64
+	RemoteBytes     int64
+	Failovers       int64 // fetches re-routed to another replica after an error
+	BatchedFetches  int64 // FetchMany calls issued by this rank's prefetcher
+	PrefetchedOpens int64 // opens served by an entry Prefetch staged
+	Cache           CacheStats
+	Daemon          rpc.ServerStats // this rank's fetch daemon (peer-facing)
+	RPC             rpc.ClientStats // this rank's outbound fetch calls
 }
 
 // Node is one rank's FanStore instance: metadata table, storage backend,
@@ -203,6 +224,7 @@ type Node struct {
 	localOpens, remoteOpens, decompresses atomic.Int64
 	zeroCopyOpens, failovers              atomic.Int64
 	bytesRead, remoteBytes                atomic.Int64
+	batchedFetches                        atomic.Int64
 
 	openHist  metrics.Histogram // whole open(): lookup + fetch + decompress
 	fetchHist metrics.Histogram // remote fetch round trips only
@@ -390,12 +412,28 @@ func (n *Node) noteReplica(path string, rank int) {
 	m.Replicas = append(m.Replicas, int32(rank))
 }
 
-// handleFetch answers one peer fetch on a daemon worker: the response
-// payload is [u16 compressorID][compressed bytes]. Unknown objects map to
-// the transport's not-found status (the requester fails over or surfaces
-// ErrRemoteGone).
+// handleFetch answers one peer fetch on a daemon worker, dispatching on
+// the op byte: a single-object request or a batched FetchMany. Unknown
+// single objects map to the transport's not-found status (the requester
+// fails over or surfaces ErrRemoteGone); batched misses are reported
+// per item.
 func (n *Node) handleFetch(_ int, payload []byte) ([]byte, error) {
-	path := string(payload)
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("fanstore: empty fetch frame")
+	}
+	switch payload[0] {
+	case opFetchOne:
+		return n.fetchObject(string(payload[1:]))
+	case opFetchMany:
+		return n.handleFetchMany(payload[1:])
+	default:
+		return nil, fmt.Errorf("fanstore: unknown fetch op %d", payload[0])
+	}
+}
+
+// fetchObject serves one object's compressed bytes as
+// [u16 compressorID][compressed bytes].
+func (n *Node) fetchObject(path string) ([]byte, error) {
 	n.mu.RLock()
 	wdata, written := n.writes[path]
 	n.mu.RUnlock()
@@ -419,6 +457,39 @@ func (n *Node) handleFetch(_ int, payload []byte) ([]byte, error) {
 	resp := make([]byte, 2, 2+len(data))
 	binary.LittleEndian.PutUint16(resp, id)
 	return append(resp, data...), nil
+}
+
+// handleFetchMany answers a batched fetch: every requested object is
+// read from the backend with bounded concurrency (a cold batch over the
+// spill backend overlaps its disk reads) and answered in request order
+// with per-item status, so a partial miss never fails the whole batch.
+func (n *Node) handleFetchMany(body []byte) ([]byte, error) {
+	paths, err := rpc.DecodeKeys(body)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]rpc.Item, len(paths))
+	sem := make(chan struct{}, batchGetConcurrency)
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			payload, err := n.fetchObject(path)
+			switch {
+			case err == nil:
+				items[i] = rpc.Item{Status: rpc.ItemOK, Payload: payload}
+			case errors.Is(err, rpc.ErrNotFound):
+				items[i] = rpc.Item{Status: rpc.ItemNotFound}
+			default:
+				items[i] = rpc.Item{Status: rpc.ItemError, Payload: []byte(err.Error())}
+			}
+		}(i, path)
+	}
+	wg.Wait()
+	return rpc.EncodeItems(items), nil
 }
 
 // fetchCandidates lists the ranks that can serve m's compressed object,
@@ -453,7 +524,9 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, error) {
 	var lastErr error
 	for i := 0; i < len(cands); i++ {
 		dst := cands[(first+i)%len(cands)]
-		resp, err := n.client.Call(dst, []byte(m.Path))
+		req := make([]byte, 1, 1+len(m.Path))
+		req[0] = opFetchOne
+		resp, err := n.client.Call(dst, append(req, m.Path...))
 		if err == nil {
 			if len(resp) < 2 {
 				lastErr = fmt.Errorf("rank %d sent a malformed object frame", dst)
@@ -471,6 +544,134 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, error) {
 		}
 	}
 	return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
+}
+
+// prefetchTarget is one not-yet-staged remote object being walked
+// through its candidate ranks by Prefetch.
+type prefetchTarget struct {
+	m     *FileMeta
+	cands []int // candidate ranks in try order
+	next  int   // index into cands of the rank to ask next
+}
+
+// Prefetch stages an upcoming access window (the sampler's next
+// iterations) into the decompressed cache ahead of the consumer: paths
+// that are neither local, cached, nor already being opened are grouped
+// by replica owner, each group is fetched with one FetchMany round trip
+// — issued concurrently across owners — and the decompressed results
+// are inserted unpinned (InsertIdle), so prefetched-but-unopened files
+// stay evictable and a canceled epoch cannot wedge the pool. It is
+// best-effort: a partial miss or peer failure falls over to the next
+// replica and finally to on-demand fetching at Open; Prefetch never
+// fails the training loop. Returns the number of objects staged.
+func (n *Node) Prefetch(paths []string) int {
+	if n.closed.Load() || len(paths) == 0 {
+		return 0
+	}
+	// Resolve the window down to remote, uncached, not-in-flight paths.
+	targets := make([]*prefetchTarget, 0, len(paths))
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		cp := cleanPath(p)
+		if seen[cp] {
+			continue
+		}
+		seen[cp] = true
+		n.mu.RLock()
+		m, ok := n.meta[cp]
+		_, written := n.writes[cp]
+		n.mu.RUnlock()
+		if !ok || written || n.backend.Contains(cp) || n.cache.Contains(cp) {
+			continue
+		}
+		n.inflightMu.Lock()
+		_, busy := n.inflight[cp]
+		n.inflightMu.Unlock()
+		if busy {
+			continue // an open is already producing it
+		}
+		cands := n.fetchCandidates(m)
+		if len(cands) == 0 {
+			continue
+		}
+		// Rotate the starting candidate like fetchRemote does, so
+		// prefetch load also spreads across the owner and its replicas.
+		rot := int(n.routeSeq.Add(1)) % len(cands)
+		ordered := make([]int, 0, len(cands))
+		for i := range cands {
+			ordered = append(ordered, cands[(rot+i)%len(cands)])
+		}
+		targets = append(targets, &prefetchTarget{m: m, cands: ordered})
+	}
+	// Round-based failover: each round groups the remaining targets by
+	// their next candidate and fetches the groups concurrently; targets
+	// a peer could not serve move to their next replica.
+	staged := 0
+	for len(targets) > 0 {
+		groups := make(map[int][]*prefetchTarget)
+		for _, t := range targets {
+			groups[t.cands[t.next]] = append(groups[t.cands[t.next]], t)
+		}
+		var mu sync.Mutex
+		var retry []*prefetchTarget
+		var wg sync.WaitGroup
+		for dst, group := range groups {
+			wg.Add(1)
+			go func(dst int, group []*prefetchTarget) {
+				defer wg.Done()
+				ok, failed := n.prefetchFrom(dst, group)
+				mu.Lock()
+				staged += ok
+				retry = append(retry, failed...)
+				mu.Unlock()
+			}(dst, group)
+		}
+		wg.Wait()
+		targets = targets[:0]
+		for _, t := range retry {
+			if t.next++; t.next < len(t.cands) {
+				targets = append(targets, t)
+			}
+		}
+	}
+	return staged
+}
+
+// prefetchFrom issues one FetchMany call to dst for group, decompresses
+// and stages what came back, and returns the targets dst could not
+// serve so the caller can fail over.
+func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, failed []*prefetchTarget) {
+	keys := make([]string, len(group))
+	for i, t := range group {
+		keys[i] = t.m.Path
+	}
+	req := append([]byte{opFetchMany}, rpc.EncodeKeys(keys)...)
+	n.batchedFetches.Add(1)
+	resp, err := n.client.Call(dst, req)
+	if err != nil {
+		return 0, group
+	}
+	items, err := rpc.DecodeItems(resp)
+	if err != nil || len(items) != len(group) {
+		return 0, group
+	}
+	for i, it := range items {
+		t := group[i]
+		if it.Status != rpc.ItemOK || len(it.Payload) < 2 {
+			failed = append(failed, t)
+			continue
+		}
+		n.remoteBytes.Add(int64(len(it.Payload)))
+		data, err := n.decompress(t.m, binary.LittleEndian.Uint16(it.Payload), it.Payload[2:])
+		if err != nil {
+			failed = append(failed, t)
+			continue
+		}
+		if n.cache.InsertIdle(t.m.Path, data) {
+			staged++
+		}
+	}
+	return staged, failed
 }
 
 // decompress turns a compressed object into file bytes, validating size
@@ -499,25 +700,28 @@ type fetchCall struct {
 	err  error
 }
 
-// open produces the pinned decompressed bytes for a metadata record,
-// following Fig. 2: cache, then local backend, then remote fetch.
-// Concurrent opens of the same uncached file share one fetch.
-func (n *Node) openBytes(m *FileMeta) ([]byte, error) {
+// open produces the decompressed bytes for a metadata record, following
+// Fig. 2: cache, then local backend, then remote fetch. Concurrent
+// opens of the same uncached file share one fetch. pinned reports
+// whether the returned bytes hold a cache pin the caller must Release —
+// false only for the zero-copy passthrough path, which never enters the
+// cache.
+func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, err error) {
 	for {
 		if data, ok := n.cache.Acquire(m.Path); ok {
-			return data, nil
+			return data, true, nil
 		}
 		n.inflightMu.Lock()
 		if call, ok := n.inflight[m.Path]; ok {
 			n.inflightMu.Unlock()
 			<-call.done
 			if call.err != nil {
-				return nil, call.err
+				return nil, false, call.err
 			}
 			// The leader holds a pin; Acquire shares it. If the entry
 			// was already evicted (tiny cache), loop and refetch.
 			if data, ok := n.cache.Acquire(m.Path); ok {
-				return data, nil
+				return data, true, nil
 			}
 			continue
 		}
@@ -525,25 +729,26 @@ func (n *Node) openBytes(m *FileMeta) ([]byte, error) {
 		n.inflight[m.Path] = call
 		n.inflightMu.Unlock()
 
-		data, err := n.produceBytes(m)
+		data, pinned, err := n.produceBytes(m)
 		call.data, call.err = data, err
 		n.inflightMu.Lock()
 		delete(n.inflight, m.Path)
 		n.inflightMu.Unlock()
 		close(call.done)
-		return data, err
+		return data, pinned, err
 	}
 }
 
 // produceBytes performs the actual Fig. 2 data path for one file.
-func (n *Node) produceBytes(m *FileMeta) ([]byte, error) {
+// pinned is false for the zero-copy path (no cache entry to release).
+func (n *Node) produceBytes(m *FileMeta) (data []byte, pinned bool, err error) {
 	n.mu.RLock()
 	wdata, written := n.writes[m.Path]
 	n.mu.RUnlock()
 	switch {
 	case written:
 		n.localOpens.Add(1)
-		return n.cache.Insert(m.Path, wdata), nil
+		return n.cache.Insert(m.Path, wdata), true, nil
 	case n.backend.Contains(m.Path):
 		n.localOpens.Add(1)
 		// Uncompressed RAM-resident objects are served zero-copy from the
@@ -553,29 +758,29 @@ func (n *Node) produceBytes(m *FileMeta) ([]byte, error) {
 		if id, raw, ok := n.backend.Peek(m.Path); ok {
 			if payload, ok := codec.Passthrough(id, raw); ok {
 				n.zeroCopyOpens.Add(1)
-				return payload, nil
+				return payload, false, nil
 			}
 		}
 		id, comp, err := n.backend.Get(m.Path)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		data, err := n.decompress(m, id, comp)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return n.cache.Insert(m.Path, data), nil
+		return n.cache.Insert(m.Path, data), true, nil
 	default:
 		n.remoteOpens.Add(1)
 		id, comp, err := n.fetchRemote(m)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		data, err := n.decompress(m, id, comp)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return n.cache.Insert(m.Path, data), nil
+		return n.cache.Insert(m.Path, data), true, nil
 	}
 }
 
@@ -601,16 +806,18 @@ func (n *Node) Close() error {
 // Stats snapshots the node's data-path counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		LocalOpens:    n.localOpens.Load(),
-		RemoteOpens:   n.remoteOpens.Load(),
-		ZeroCopyOpens: n.zeroCopyOpens.Load(),
-		Decompresses:  n.decompresses.Load(),
-		BytesRead:     n.bytesRead.Load(),
-		RemoteBytes:   n.remoteBytes.Load(),
-		Failovers:     n.failovers.Load(),
-		Cache:         n.cache.Stats(),
-		Daemon:        n.server.Stats(),
-		RPC:           n.client.Stats(),
+		LocalOpens:      n.localOpens.Load(),
+		RemoteOpens:     n.remoteOpens.Load(),
+		ZeroCopyOpens:   n.zeroCopyOpens.Load(),
+		Decompresses:    n.decompresses.Load(),
+		BytesRead:       n.bytesRead.Load(),
+		RemoteBytes:     n.remoteBytes.Load(),
+		Failovers:       n.failovers.Load(),
+		BatchedFetches:  n.batchedFetches.Load(),
+		PrefetchedOpens: n.cache.prefetchedOpens(),
+		Cache:           n.cache.Stats(),
+		Daemon:          n.server.Stats(),
+		RPC:             n.client.Stats(),
 	}
 }
 

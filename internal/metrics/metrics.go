@@ -5,7 +5,8 @@
 // behaviour — e.g. that open() latency is bimodal (local decompress vs.
 // remote fetch) with the expected mode weights.
 //
-// Histogram uses power-of-two buckets from 1 us to ~1 hour: recording is
+// Histogram uses power-of-two buckets from 1 us to ~36 min (2^31 us),
+// with an overflow bucket above that: recording is
 // a single atomic increment, safe for the many concurrent I/O threads of
 // a training process (§II-B1), and quantile queries are approximate to
 // within a factor of two (bucket resolution), which is ample for

@@ -34,8 +34,20 @@ type Batch struct {
 
 // Sampler yields the file list for iteration i, or ok=false at the end
 // of the epoch. Implementations must be safe for calls from the pipeline
-// goroutine.
+// goroutine. The pipeline calls each iteration exactly once, but when a
+// Prefetcher is configured iterations are sampled ahead of consumption,
+// so a sampler must not depend on being called in lockstep with the
+// training loop.
 type Sampler func(iter int) (paths []string, ok bool)
+
+// Prefetcher receives the pipeline's look-ahead window: the paths of
+// upcoming iterations, announced as the sequencer samples them, so a
+// store can stage remote objects in batched round trips before the I/O
+// workers ask for them. fanstore's Node.Prefetch satisfies it.
+// Announcements are best-effort and may be dropped under backpressure.
+type Prefetcher interface {
+	Prefetch(paths []string) int
+}
 
 // Options configures a Pipeline.
 type Options struct {
@@ -45,6 +57,12 @@ type Options struct {
 	// Depth is how many batches may be in flight ahead of the consumer
 	// (default 2: the classic double-buffering of Fig. 5b).
 	Depth int
+	// Prefetcher, when set, is announced the paths of upcoming
+	// iterations so it can stage them ahead of the workers.
+	Prefetcher Prefetcher
+	// Lookahead is how many iterations beyond the one being dispatched
+	// are sampled and announced to the Prefetcher (default 2*Depth).
+	Lookahead int
 }
 
 // Pipeline prefetches batches ahead of a training loop.
@@ -73,6 +91,13 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 	if depth <= 0 {
 		depth = 2
 	}
+	look := opts.Lookahead
+	if look <= 0 {
+		look = 2 * depth
+	}
+	if opts.Prefetcher == nil {
+		look = 0 // nobody to announce to; sample lazily as before
+	}
 	p := &Pipeline{
 		out:  make(chan result, depth),
 		stop: make(chan struct{}),
@@ -87,17 +112,71 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 	jobs := make(chan job, depth)
 	done := make(chan result, depth+workers)
 
+	// The announcer forwards look-ahead windows to the Prefetcher off
+	// the sequencer's critical path: a slow prefetch round trip must not
+	// stall job dispatch, so the sequencer's sends are non-blocking and
+	// a window may be dropped under backpressure (the workers then fetch
+	// those files on demand — correctness never depends on an
+	// announcement landing).
+	announce := make(chan []string, 2)
+	if opts.Prefetcher != nil {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case w, ok := <-announce:
+					if !ok {
+						return
+					}
+					opts.Prefetcher.Prefetch(w)
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	}
+
 	p.wg.Add(1)
 	go func() { // sequencer
 		defer p.wg.Done()
 		defer close(jobs)
+		defer close(announce)
+		var pending []job // sampled ahead, not yet dispatched
+		sampled := 0
+		ended := false
 		for i := 0; ; i++ {
-			paths, ok := sampler(i)
-			if !ok {
+			// Top up the look-ahead window and announce what's new.
+			var window []string
+			for !ended && sampled <= i+look {
+				paths, ok := sampler(sampled)
+				if !ok {
+					ended = true
+					break
+				}
+				pending = append(pending, job{index: sampled, paths: paths})
+				if sampled > i {
+					// Iteration i goes straight to a worker; only the
+					// iterations beyond it are worth staging.
+					window = append(window, paths...)
+				}
+				sampled++
+			}
+			if len(window) > 0 {
+				select {
+				case announce <- window:
+				case <-p.stop:
+					return
+				default: // prefetcher busy; skip this window
+				}
+			}
+			if len(pending) == 0 {
 				return
 			}
+			j := pending[0]
+			pending = pending[1:]
 			select {
-			case jobs <- job{index: i, paths: paths}:
+			case jobs <- j:
 			case <-p.stop:
 				return
 			}
@@ -154,6 +233,12 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 					return
 				}
 				if res.err != nil {
+					// An error ends the stream, so shut the upstream
+					// stages down now: without this, the sequencer and
+					// workers stay blocked on their channels until Stop,
+					// and a consumer that abandons the pipeline after a
+					// failed Next leaks them all.
+					p.Stop()
 					return
 				}
 			}
@@ -163,7 +248,10 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 }
 
 // Next blocks for the next in-order batch. It returns ok=false at the
-// clean end of the sampler's sequence.
+// clean end of the sampler's sequence. Results already delivered to the
+// output queue win over Stop: after an error shuts the pipeline down,
+// the buffered error (and any batches completed before it) still reach
+// the consumer deterministically instead of racing ErrStopped.
 func (p *Pipeline) Next() (Batch, bool, error) {
 	select {
 	case r, ok := <-p.out:
@@ -171,8 +259,25 @@ func (p *Pipeline) Next() (Batch, bool, error) {
 			return Batch{}, false, nil
 		}
 		return r.batch, r.err == nil, r.err
+	default:
+	}
+	select {
+	case r, ok := <-p.out:
+		if !ok {
+			return Batch{}, false, nil
+		}
+		return r.batch, r.err == nil, r.err
 	case <-p.stop:
-		return Batch{}, false, ErrStopped
+		// Stop raced an in-flight delivery; drain it if it landed.
+		select {
+		case r, ok := <-p.out:
+			if !ok {
+				return Batch{}, false, nil
+			}
+			return r.batch, r.err == nil, r.err
+		default:
+			return Batch{}, false, ErrStopped
+		}
 	}
 }
 
@@ -186,15 +291,40 @@ func (p *Pipeline) Stop() {
 // for one rank of a data-parallel job: iteration i takes paths
 // [(i*ranks+rank)*batch, ...). It is the shuffling-free core; callers
 // shuffle the path slice per epoch (as the training example does).
+//
+// Tail semantics: when len(paths) is not divisible by batch*ranks, the
+// trailing samples are still delivered — the final batch may be shorter
+// than batch, and a rank whose stripe lies entirely past the end gets an
+// empty (but present) batch. Every rank therefore runs the same number
+// of iterations, SamplerIters(len(paths), batch, ranks), so per-rank
+// collectives in the training loop stay aligned.
 func RangeSampler(paths []string, batch, rank, ranks int) Sampler {
 	if batch <= 0 || ranks <= 0 {
 		return func(int) ([]string, bool) { return nil, false }
 	}
+	iters := SamplerIters(len(paths), batch, ranks)
 	return func(iter int) ([]string, bool) {
-		start := (iter*ranks + rank) * batch
-		if start+batch > len(paths) {
+		if iter < 0 || iter >= iters {
 			return nil, false
 		}
-		return paths[start : start+batch], true
+		start := (iter*ranks + rank) * batch
+		if start >= len(paths) {
+			return []string{}, true // aligned empty tail batch
+		}
+		end := start + batch
+		if end > len(paths) {
+			end = len(paths)
+		}
+		return paths[start:end], true
 	}
+}
+
+// SamplerIters reports how many iterations RangeSampler yields per rank
+// for n paths: ceil(n / (batch*ranks)), identical on every rank.
+func SamplerIters(n, batch, ranks int) int {
+	if batch <= 0 || ranks <= 0 || n <= 0 {
+		return 0
+	}
+	stride := batch * ranks
+	return (n + stride - 1) / stride
 }

@@ -3,6 +3,8 @@ package prefetch
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -161,6 +163,193 @@ func TestStripedRanks(t *testing.T) {
 	for p, n := range seen {
 		if n != 1 {
 			t.Fatalf("file %s read %d times across ranks", p, n)
+		}
+	}
+}
+
+func TestTailBatchDelivered(t *testing.T) {
+	// 10 paths, batch 4: the final batch holds the 2 trailing samples
+	// instead of being silently dropped (the old sampler under-trained).
+	r, paths := newMapReader(10)
+	p := New(r, RangeSampler(paths, 4, 0, 1), Options{Workers: 2, Depth: 2})
+	defer p.Stop()
+	var got []string
+	sizes := []int{}
+	for {
+		b, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		sizes = append(sizes, len(b.Paths))
+		got = append(got, b.Paths...)
+	}
+	if want := []int{4, 4, 2}; len(sizes) != 3 || sizes[0] != want[0] || sizes[1] != want[1] || sizes[2] != want[2] {
+		t.Fatalf("batch sizes %v, want %v", sizes, want)
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d paths, want all 10", len(got))
+	}
+}
+
+func TestTailBatchAlignedAcrossRanks(t *testing.T) {
+	// 9 paths, batch 2, 2 ranks: stride 4 → 3 iterations on EVERY rank.
+	// Rank 0's last batch is short ([8]), rank 1's is empty — but both
+	// ranks see ok=true for the same iteration count, so collectives in
+	// the training loop stay aligned.
+	_, paths := newMapReader(9)
+	const batch, ranks = 2, 2
+	if got := SamplerIters(len(paths), batch, ranks); got != 3 {
+		t.Fatalf("SamplerIters = %d, want 3", got)
+	}
+	seen := make(map[string]int)
+	for rank := 0; rank < ranks; rank++ {
+		s := RangeSampler(paths, batch, rank, ranks)
+		iters := 0
+		for i := 0; ; i++ {
+			b, ok := s(i)
+			if !ok {
+				break
+			}
+			iters++
+			for _, p := range b {
+				seen[p]++
+			}
+		}
+		if iters != 3 {
+			t.Fatalf("rank %d ran %d iterations, want 3 on every rank", rank, iters)
+		}
+	}
+	if len(seen) != 9 {
+		t.Fatalf("ranks covered %d of 9 paths", len(seen))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("path %s delivered %d times", p, n)
+		}
+	}
+	// The rank whose tail stripe lies past the end gets a present-but-
+	// empty batch, not end-of-epoch.
+	s := RangeSampler(paths, batch, 1, ranks)
+	b, ok := s(2)
+	if !ok || len(b) != 0 {
+		t.Fatalf("rank 1 iter 2: ok=%v len=%d, want an empty aligned batch", ok, len(b))
+	}
+}
+
+func TestErrorReleasesGoroutinesWithoutStop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r, paths := newMapReader(40)
+	r.failOn = paths[3]
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 4, Depth: 2})
+	sawErr := false
+	for i := 0; i < 25; i++ {
+		_, ok, err := p.Next()
+		if err != nil {
+			sawErr = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected failure never surfaced")
+	}
+	// Deliberately no Stop: error delivery must shut the sequencer and
+	// workers down on its own.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("pipeline leaked goroutines after error: %d before, %d after", before, got)
+	}
+}
+
+func TestNextPrefersBufferedResultOverStop(t *testing.T) {
+	// After the error path stops the pipeline itself, the buffered error
+	// must still reach the consumer — never ErrStopped racing it away.
+	r, paths := newMapReader(4)
+	r.failOn = paths[0]
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 1, Depth: 1})
+	// Let the failure land in the output queue and the self-Stop close
+	// the stop channel before the consumer ever looks.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		select {
+		case <-p.stop:
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("pipeline never stopped itself after the error")
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		break
+	}
+	_, ok, err := p.Next()
+	if ok || err == nil || errors.Is(err, ErrStopped) {
+		t.Fatalf("Next after self-stop: ok=%v err=%v, want the injected read error", ok, err)
+	}
+}
+
+// recordingPrefetcher captures every announced look-ahead window.
+type recordingPrefetcher struct {
+	mu      sync.Mutex
+	windows [][]string
+}
+
+func (r *recordingPrefetcher) Prefetch(paths []string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := make([]string, len(paths))
+	copy(w, paths)
+	r.windows = append(r.windows, w)
+	return len(paths)
+}
+
+func TestLookaheadAnnouncedToPrefetcher(t *testing.T) {
+	r, paths := newMapReader(24)
+	rec := &recordingPrefetcher{}
+	p := New(r, RangeSampler(paths, 2, 0, 1), Options{Workers: 2, Depth: 2, Prefetcher: rec, Lookahead: 4})
+	defer p.Stop()
+	for {
+		_, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.windows) == 0 {
+		t.Fatal("no look-ahead window was announced")
+	}
+	// The first window is deterministic: iterations 1..4 (iteration 0 is
+	// dispatched straight to a worker, not worth staging).
+	first := rec.windows[0]
+	if len(first) != 8 {
+		t.Fatalf("first window holds %d paths, want 8 (iterations 1..4)", len(first))
+	}
+	for i, p := range first {
+		if want := paths[2+i]; p != want {
+			t.Fatalf("first window[%d] = %s, want %s", i, p, want)
+		}
+	}
+	valid := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		valid[p] = true
+	}
+	for _, w := range rec.windows {
+		for _, p := range w {
+			if !valid[p] {
+				t.Fatalf("announced unknown path %s", p)
+			}
 		}
 	}
 }

@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multi-object frames. A batched request carries N object keys in one
+// round trip and the response carries N independently-statused items, so
+// a partial miss (some keys absent from the peer's backend) degrades to
+// per-item not-found instead of poisoning the whole batch. The Server
+// does not interpret these frames — they ride inside the ordinary
+// request/response payloads — but both daemon sides use this encoding,
+// so it lives with the wire layer.
+//
+// Key frame:   u32 count | (u32 len | bytes)*
+// Item frame:  u32 count | (u8 status | u32 len | bytes)*
+
+// Per-item statuses of a batched response.
+const (
+	// ItemOK marks an item whose payload is the requested object.
+	ItemOK = byte(0)
+	// ItemNotFound marks a key the responder does not hold (the
+	// partial-miss case: the caller fails over or fetches on demand).
+	ItemNotFound = byte(1)
+	// ItemError marks a per-item handler failure; the payload carries
+	// the error text.
+	ItemError = byte(2)
+)
+
+// Item is one object of a batched response.
+type Item struct {
+	Status  byte
+	Payload []byte
+}
+
+// EncodeKeys serializes object keys into one batched request payload.
+func EncodeKeys(keys []string) []byte {
+	n := 4
+	for _, k := range keys {
+		n += 4 + len(k)
+	}
+	out := make([]byte, 4, n)
+	binary.LittleEndian.PutUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(k)))
+		out = append(out, l[:]...)
+		out = append(out, k...)
+	}
+	return out
+}
+
+// DecodeKeys parses a batched request payload back into object keys.
+func DecodeKeys(p []byte) ([]string, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rpc: batch key frame truncated (%d bytes)", len(p))
+	}
+	count := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	keys := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("rpc: batch key %d: length truncated", i)
+		}
+		l := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if len(p) < l {
+			return nil, fmt.Errorf("rpc: batch key %d: %d bytes declared, %d remain", i, l, len(p))
+		}
+		keys = append(keys, string(p[:l]))
+		p = p[l:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("rpc: batch key frame has %d trailing bytes", len(p))
+	}
+	return keys, nil
+}
+
+// EncodeItems serializes a batched response, one status-framed item per
+// requested key, in request order.
+func EncodeItems(items []Item) []byte {
+	n := 4
+	for i := range items {
+		n += 5 + len(items[i].Payload)
+	}
+	out := make([]byte, 4, n)
+	binary.LittleEndian.PutUint32(out, uint32(len(items)))
+	for i := range items {
+		out = append(out, items[i].Status)
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(items[i].Payload)))
+		out = append(out, l[:]...)
+		out = append(out, items[i].Payload...)
+	}
+	return out
+}
+
+// DecodeItems parses a batched response payload.
+func DecodeItems(p []byte) ([]Item, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("rpc: batch item frame truncated (%d bytes)", len(p))
+	}
+	count := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	items := make([]Item, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 5 {
+			return nil, fmt.Errorf("rpc: batch item %d: header truncated", i)
+		}
+		status := p[0]
+		l := int(binary.LittleEndian.Uint32(p[1:]))
+		p = p[5:]
+		if len(p) < l {
+			return nil, fmt.Errorf("rpc: batch item %d: %d bytes declared, %d remain", i, l, len(p))
+		}
+		items = append(items, Item{Status: status, Payload: p[:l]})
+		p = p[l:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("rpc: batch item frame has %d trailing bytes", len(p))
+	}
+	return items, nil
+}
