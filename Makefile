@@ -1,9 +1,9 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 GO ?= go
 
-.PHONY: ci fmt vet test race bench
+.PHONY: ci fmt vet test race bench benchsmoke
 
-ci: fmt vet race test
+ci: fmt vet race test benchsmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,9 +19,16 @@ test:
 
 # The concurrency-heavy packages run under the race detector: the mpi
 # runtime, the rpc worker pool, the store's fetch/cache data path, the
-# prefetch pipeline, and the training-loop simulator that drives them.
+# prefetch pipeline, the training-loop simulator that drives them, and
+# the observability layer (span tracer + metrics registry) they all
+# write into concurrently.
 race:
-	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/prefetch/... ./internal/trainsim/...
+	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...
+
+# One iteration of every benchmark, so instrumented hot paths cannot
+# silently stop compiling (or start panicking) in bench-only code.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...

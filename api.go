@@ -24,13 +24,16 @@
 package fanstore
 
 import (
+	"io"
 	"time"
 
 	"fanstore/internal/codec"
 	store "fanstore/internal/fanstore"
+	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
 	"fanstore/internal/pack"
 	"fanstore/internal/selector"
+	"fanstore/internal/trace"
 )
 
 // Core store types.
@@ -96,6 +99,54 @@ const (
 	SyncIO  = selector.Sync
 	AsyncIO = selector.Async
 )
+
+// Observability types: the per-rank span tracer, the unified metrics
+// registry, and the cluster-wide aggregated report.
+type (
+	// Tracer records per-operation spans into a fixed-size ring buffer;
+	// pass one via Options.Tracer. A nil *Tracer disables tracing at
+	// zero cost on the hot path.
+	Tracer = trace.Tracer
+	// Registry is the named metrics table shared by every component of a
+	// rank; pass one via Options.Metrics to unify cache, rpc, store, and
+	// pipeline instruments under a single snapshot.
+	Registry = metrics.Registry
+	// RegistrySnapshot is a serializable point-in-time copy of a
+	// registry, mergeable across ranks.
+	RegistrySnapshot = metrics.RegistrySnapshot
+	// ClusterReport is the merged view of every rank's snapshot with
+	// straggler detection.
+	ClusterReport = store.ClusterReport
+	// ReportOptions configures the cluster report reduction.
+	ReportOptions = store.ReportOptions
+)
+
+// NewTracer builds a span tracer for rank with a ring of the given
+// capacity (the package default when <= 0).
+func NewTracer(rank, capacity int) *Tracer { return trace.New(rank, capacity) }
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return metrics.NewRegistry() }
+
+// WriteChromeTrace merges the tracers' spans and writes Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing with one
+// track per rank.
+func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
+	return trace.WriteChrome(w, tracers...)
+}
+
+// GatherReport is the cluster-report collective: every rank contributes
+// its registry snapshot via Allgather and all ranks return the same
+// merged report. Every rank must call it together.
+func GatherReport(c *Comm, reg *Registry, opts ReportOptions) (ClusterReport, error) {
+	return store.GatherReport(c, reg, opts)
+}
+
+// BuildClusterReport folds per-rank snapshots (index = rank) into a
+// cluster report without a communicator — the simulator's path.
+func BuildClusterReport(snaps []RegistrySnapshot, opts ReportOptions) ClusterReport {
+	return store.BuildClusterReport(snaps, opts)
+}
 
 // Run starts n FanStore ranks in-process, invoking f with each rank's
 // communicator, and returns the first error. It is the substitution for

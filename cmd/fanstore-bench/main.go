@@ -9,14 +9,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"text/tabwriter"
 
 	"fanstore/internal/dataset"
 	"fanstore/internal/fanstore"
 	"fanstore/internal/iobench"
+	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
 	"fanstore/internal/pack"
 )
@@ -33,6 +36,7 @@ func main() {
 		policy     = flag.String("cache", "fifo", "cache policy: fifo|lru|immediate")
 		model      = flag.Bool("model", false, "print Table III device-model rows instead")
 		hist       = flag.Bool("hist", false, "print rank 0's latency histograms")
+		statsJSON  = flag.Bool("stats-json", false, "emit the final merged registry snapshot as one JSON object on stdout")
 	)
 	flag.Parse()
 
@@ -72,11 +76,14 @@ func main() {
 	}
 
 	results := make([]iobench.Result, *ranks)
+	snaps := make([]metrics.RegistrySnapshot, *ranks)
 	err = mpi.Run(*ranks, func(c *mpi.Comm) error {
-		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, fanstore.Options{CachePolicy: pol})
+		reg := metrics.NewRegistry()
+		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, fanstore.Options{CachePolicy: pol, Metrics: reg})
 		if err != nil {
 			return err
 		}
+		defer func() { snaps[c.Rank()] = reg.Snapshot() }()
 		defer node.Close()
 		res, err := iobench.MeasureNode(node, paths, *rounds)
 		if err != nil {
@@ -109,4 +116,15 @@ func main() {
 	}
 	fmt.Printf("aggregate: %.0f files/s, %.0f MB/s across %d ranks (compressor %s, cache %s)\n",
 		totFiles, totMB, *ranks, *compressor, *policy)
+
+	if *statsJSON {
+		var merged metrics.RegistrySnapshot
+		for _, s := range snaps {
+			merged = merged.Merge(s)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(merged); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

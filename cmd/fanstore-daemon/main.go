@@ -45,6 +45,8 @@ func main() {
 		fetchTO    = flag.Duration("fetch-timeout", 0, "per-attempt deadline on remote fetches (0: none)")
 		fetchRetry = flag.Int("fetch-retries", 0, "extra same-peer attempts after a timed-out or errored fetch")
 		lookahead  = flag.Int("prefetch", 0, "reads of look-ahead staged via batched FetchMany (0: fetch on demand)")
+		traceOut   = flag.String("trace", "", "write this rank's Chrome trace-event JSON timeline to this file")
+		report     = flag.Bool("report", false, "run the cluster report collective; rank 0 prints the merged view")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
@@ -75,11 +77,18 @@ func main() {
 	}
 	defer leave()
 
+	reg := fanstore.NewRegistry()
+	var tr *fanstore.Tracer
+	if *traceOut != "" {
+		tr = fanstore.NewTracer(*rank, 0)
+	}
 	opts := fanstore.Options{
 		SpillDir:     *spill,
 		FetchWorkers: *workers,
 		FetchTimeout: *fetchTO,
 		FetchRetries: *fetchRetry,
+		Metrics:      reg,
+		Tracer:       tr,
 	}
 	node, err := fanstore.Mount(comm, own, bcast, opts)
 	if err != nil {
@@ -162,6 +171,30 @@ func main() {
 		log.Printf("prefetch: %d batched fetches staged entries serving %d opens (cache hit rate %.0f%%)",
 			st.BatchedFetches, st.PrefetchedOpens,
 			float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses)*100)
+	}
+
+	if *report {
+		// Collective: every daemon must be launched with -report too.
+		rep, err := fanstore.GatherReport(comm, reg, fanstore.ReportOptions{Elapsed: elapsed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *rank == 0 {
+			fmt.Print(rep.String())
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fanstore.WriteChromeTrace(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace: wrote %s", *traceOut)
 	}
 
 	// Collective shutdown: no rank exits while peers may still fetch.

@@ -4,6 +4,16 @@
 //
 //	fanstore-sim -mode perf -case srgan-gtx
 //	fanstore-sim -mode scaling -case resnet-cpu -nodes 1,8,64,512
+//
+// With -trace and/or -report it additionally replays a per-rank epoch
+// timeline of the case's configuration through the observability stack:
+// -trace writes a Chrome trace-event JSON of all simulated ranks, and
+// -report prints the cluster-wide aggregated report (with -skew slowing
+// the last rank so the straggler detector has something to find; the
+// skew multiplies I/O time, so it must be large enough for I/O to
+// dominate compute before the rank visibly lags):
+//
+//	fanstore-sim -case srgan-gtx -trace out.json -report -skew 100
 package main
 
 import (
@@ -18,7 +28,10 @@ import (
 
 	"fanstore/internal/cluster"
 	"fanstore/internal/dataset"
+	"fanstore/internal/fanstore"
+	"fanstore/internal/metrics"
 	"fanstore/internal/selector"
+	"fanstore/internal/trace"
 	"fanstore/internal/trainsim"
 )
 
@@ -44,6 +57,12 @@ func main() {
 		nodesArg = flag.String("nodes", "", "node counts for -mode scaling (default: powers of two up to the cluster)")
 		codecArg = flag.String("codec", "", "compressor for -mode scaling (default: case's first candidate)")
 		seed     = flag.Int64("seed", 42, "generator seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the simulated ranks to this file")
+		report   = flag.Bool("report", false, "print the cluster-wide aggregated report of the simulated ranks")
+		simRanks = flag.Int("sim-ranks", 4, "ranks in the -trace/-report epoch replay")
+		simEpoch = flag.Int("sim-epochs", 3, "epochs in the -trace/-report epoch replay")
+		simFiles = flag.Int("sim-files", 4096, "dataset size (files) in the -trace/-report epoch replay")
+		skew     = flag.Float64("skew", 0, "I/O slowdown factor injected into the last simulated rank (0: none)")
 	)
 	flag.Parse()
 
@@ -158,5 +177,58 @@ func main() {
 
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	if *traceOut == "" && !*report {
+		return
+	}
+	// Epoch replay: run the case's configuration through the per-rank
+	// tracer and registry, then export/aggregate exactly as a live run
+	// would — same formats, same straggler detector.
+	codecName := *codecArg
+	if codecName == "" {
+		codecName = tc.cands[0]
+	}
+	cd := measure(codecName)
+	n := *simRanks
+	cfg := trainsim.Config{
+		App: tc.app, Clust: tc.clust, Nodes: n,
+		DecompressPerFile: cd.DecompressPerFile, Ratio: cd.Ratio,
+		RemoteFrac: float64(n-1) / float64(n),
+	}
+	tracers := make([]*trace.Tracer, n)
+	snaps := make([]metrics.RegistrySnapshot, n)
+	var elapsed time.Duration
+	for rank := 0; rank < n; rank++ {
+		tracers[rank] = trace.NewSynthetic(rank, 0)
+		reg := metrics.NewRegistry()
+		obs := trainsim.SimObserver{Tracer: tracers[rank], Metrics: reg}
+		if *skew > 0 && rank == n-1 {
+			obs.Skew = *skew
+		}
+		if t := cfg.TraceEpochs(*simEpoch, *simFiles, obs); t > elapsed {
+			elapsed = t
+		}
+		snaps[rank] = reg.Snapshot()
+	}
+	if *report {
+		rep := fanstore.BuildClusterReport(snaps, fanstore.ReportOptions{
+			StragglerMetric: "trainsim.epoch.latency",
+			Elapsed:         elapsed,
+		})
+		fmt.Print(rep.String())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, tracers...); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }

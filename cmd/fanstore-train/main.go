@@ -9,11 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/crc32"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -41,6 +43,9 @@ func main() {
 		tcp        = flag.Bool("tcp", false, "carry messages over loopback TCP")
 		resume     = flag.Bool("resume", false, "resume from the latest checkpoint epoch")
 		seed       = flag.Int64("seed", 9, "dataset seed")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of all ranks to this file")
+		report     = flag.Bool("report", false, "print the cluster-wide aggregated I/O report after training")
+		statsJSON  = flag.Bool("stats-json", false, "emit the final merged registry snapshot as one JSON object on stdout")
 	)
 	flag.Parse()
 
@@ -81,10 +86,23 @@ func main() {
 	// iteration counts instead of silently dropping the remainder.
 	itersPerEpoch := prefetch.SamplerIters(*files, *batch, *ranks)
 
+	// Per-rank observability sinks, collected for post-run export: the
+	// ranks run in-process, each writing only its own slot.
+	tracers := make([]*fanstore.Tracer, *ranks)
+	var clusterReport fanstore.ClusterReport
+
 	err = launch(*ranks, func(c *fanstore.Comm) error {
+		reg := fanstore.NewRegistry()
+		var tr *fanstore.Tracer
+		if *traceOut != "" {
+			tr = fanstore.NewTracer(c.Rank(), 0)
+			tracers[c.Rank()] = tr
+		}
 		opts := fanstore.Options{
 			CachePolicy: pol,
 			CacheBytes:  int64(*cacheMB) << 20,
+			Metrics:     reg,
+			Tracer:      tr,
 		}
 		if *spill != "" {
 			opts.SpillDir = fmt.Sprintf("%s/rank%04d", *spill, c.Rank())
@@ -119,7 +137,7 @@ func main() {
 			for i, idx := range order {
 				shuffled[i] = paths[idx]
 			}
-			popts := prefetch.Options{Workers: *workers, Depth: 2}
+			popts := prefetch.Options{Workers: *workers, Depth: 2, Metrics: reg, Tracer: tr}
 			if *lookahead > 0 {
 				// Announce the sampler's upcoming window to the node so
 				// remote objects arrive in batched FetchMany round trips
@@ -171,10 +189,46 @@ func main() {
 			st.LocalOpens, st.RemoteOpens, st.Decompresses,
 			st.Cache.Hits, st.Cache.Evictions,
 			st.PrefetchedOpens, st.BatchedFetches)
+
+		if *report || *statsJSON {
+			// Collective: every rank contributes its snapshot; rank 0
+			// keeps the merged report for post-run printing.
+			rep, err := fanstore.GatherReport(c, reg, fanstore.ReportOptions{Elapsed: time.Since(start)})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				clusterReport = rep
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *report {
+		fmt.Print(clusterReport.String())
+	}
+	if *statsJSON {
+		out, err := json.Marshal(clusterReport.Merged)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", out)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fanstore.WriteChromeTrace(f, tracers...); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }
 

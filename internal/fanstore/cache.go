@@ -4,6 +4,9 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/trace"
 )
 
 // Policy selects the cache replacement strategy. The paper argues (§IV-C3)
@@ -75,20 +78,38 @@ type Cache struct {
 	order    *list.List // eviction order: front = next victim
 	policy   Policy
 
-	hits, misses, evictions        int64
-	prefetchedHits, doubleReleases int64
+	// Counters are registry-backed ("fanstore.cache.*") once instrument
+	// is called; until then they are private unregistered instruments,
+	// so a standalone Cache still counts correctly.
+	hits, misses, evictions        *metrics.Counter
+	prefetchedHits, doubleReleases *metrics.Counter
+	tracer                         *trace.Tracer
 }
 
 // NewCache builds a cache bounded to capacity bytes of decompressed data.
 // Pinned entries may transiently exceed the bound (they cannot be
 // evicted); the excess drains as files close.
 func NewCache(capacity int64, policy Policy) *Cache {
-	return &Cache{
+	c := &Cache{
 		capacity: capacity,
 		entries:  make(map[string]*cacheEntry),
 		order:    list.New(),
 		policy:   policy,
 	}
+	c.instrument(nil, nil)
+	return c
+}
+
+// instrument re-homes the cache's counters in reg ("fanstore.cache.*")
+// and attaches a tracer for eviction events. Mount calls it before the
+// cache sees any traffic; calling it later would orphan prior counts.
+func (c *Cache) instrument(reg *metrics.Registry, tr *trace.Tracer) {
+	c.hits = reg.Counter("fanstore.cache.hits")
+	c.misses = reg.Counter("fanstore.cache.misses")
+	c.evictions = reg.Counter("fanstore.cache.evictions")
+	c.prefetchedHits = reg.Counter("fanstore.cache.prefetched_opens")
+	c.doubleReleases = reg.Counter("fanstore.cache.double_releases")
+	c.tracer = tr
 }
 
 // Acquire pins and returns the cached decompressed data for path. The
@@ -98,14 +119,14 @@ func (c *Cache) Acquire(path string) ([]byte, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.entries[path]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	e.refs++
 	if e.prefetched {
 		e.prefetched = false
-		c.prefetchedHits++
+		c.prefetchedHits.Inc()
 	}
 	if c.policy == LRU {
 		c.order.MoveToBack(e.elem)
@@ -131,7 +152,7 @@ func (c *Cache) Insert(path string, data []byte) []byte {
 	if e, ok := c.entries[path]; ok {
 		// Another I/O thread decompressed this file first; share it.
 		e.refs++
-		c.hits++
+		c.hits.Inc()
 		return e.data
 	}
 	e := &cacheEntry{path: path, data: data, refs: 1}
@@ -172,7 +193,7 @@ func (c *Cache) Release(path string) {
 		// Double release is a caller bug; tolerate it rather than
 		// corrupting the pool shared by all I/O threads, but count it
 		// so the bug is visible in CacheStats.
-		c.doubleReleases++
+		c.doubleReleases.Inc()
 		return
 	}
 	e.refs--
@@ -193,7 +214,8 @@ func (c *Cache) evictLocked() {
 		e := el.Value.(*cacheEntry)
 		if e.refs == 0 { // never evict a file an open FD is reading
 			c.removeLocked(e)
-			c.evictions++
+			c.evictions.Inc()
+			c.tracer.Event(trace.OpEvict, e.path, trace.OutcomeNone)
 		}
 		el = next
 	}
@@ -216,22 +238,20 @@ func (c *Cache) Stats() CacheStats {
 		}
 	}
 	return CacheStats{
-		Hits:           c.hits,
-		Misses:         c.misses,
-		Evictions:      c.evictions,
+		Hits:           c.hits.Value(),
+		Misses:         c.misses.Value(),
+		Evictions:      c.evictions.Value(),
 		Used:           c.used,
 		Entries:        len(c.entries),
 		Pinned:         pinned,
-		DoubleReleases: c.doubleReleases,
+		DoubleReleases: c.doubleReleases.Value(),
 	}
 }
 
 // prefetchedOpens reports how many Acquires were served by an entry
 // staged by InsertIdle (the node surfaces it as Stats.PrefetchedOpens).
 func (c *Cache) prefetchedOpens() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.prefetchedHits
+	return c.prefetchedHits.Value()
 }
 
 // pinned reports the number of entries with live references (test hook).

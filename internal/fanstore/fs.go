@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fanstore/internal/mpi"
+	"fanstore/internal/trace"
 )
 
 // Info is the stat() result surface (§IV-A).
@@ -43,6 +44,7 @@ func (n *Node) Open(path string) (*File, error) {
 		return nil, ErrUnmounted
 	}
 	start := time.Now()
+	tstart := n.tracer.Begin()
 	defer func() { n.openHist.Observe(time.Since(start)) }()
 	cp := cleanPath(path)
 	n.mu.RLock()
@@ -50,12 +52,14 @@ func (n *Node) Open(path string) (*File, error) {
 	isDir := n.dirs.isDir(cp)
 	n.mu.RUnlock()
 	if !ok {
+		n.tracer.End(trace.OpOpen, cp, trace.OutcomeError, tstart)
 		if isDir {
 			return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
 		}
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
-	data, pinned, err := n.openBytes(m)
+	data, pinned, outcome, err := n.openBytes(m)
+	n.tracer.End(trace.OpOpen, cp, outcome, tstart)
 	if err != nil {
 		return nil, err
 	}
@@ -280,14 +284,20 @@ func (n *Node) ReadDir(dir string) ([]DirEntry, error) {
 // ReadFile is the convenience read-everything path used by training
 // loaders: open, read, close.
 func (n *Node) ReadFile(path string) ([]byte, error) {
+	start := time.Now()
+	tstart := n.tracer.Begin()
 	f, err := n.Open(path)
 	if err != nil {
+		n.readHist.Observe(time.Since(start))
+		n.tracer.End(trace.OpRead, path, trace.OutcomeError, tstart)
 		return nil, err
 	}
 	defer f.Close()
 	out := make([]byte, len(f.data))
 	copy(out, f.data)
 	n.bytesRead.Add(int64(len(out)))
+	n.readHist.Observe(time.Since(start))
+	n.tracer.End(trace.OpRead, path, trace.OutcomeNone, tstart)
 	return out, nil
 }
 

@@ -1,0 +1,181 @@
+package fanstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/mpi"
+)
+
+// ReportOptions configures the cluster report reduction.
+type ReportOptions struct {
+	// StragglerMetric is the histogram whose per-rank p99 drives
+	// straggler detection (default "fanstore.open.latency"; the simulator
+	// uses its epoch histogram instead).
+	StragglerMetric string
+	// StragglerFactor flags a rank whose p99 exceeds the median rank's
+	// p99 by this factor (default 2.0). <= 1 disables detection never —
+	// values are clamped to at least 1.
+	StragglerFactor float64
+	// Elapsed, when set, is the wall-clock window the snapshots cover, so
+	// the report can state cluster files/s (the paper's Tables III/VI
+	// unit). Zero omits the rate.
+	Elapsed time.Duration
+}
+
+func (o *ReportOptions) defaults() {
+	if o.StragglerMetric == "" {
+		o.StragglerMetric = "fanstore.open.latency"
+	}
+	if o.StragglerFactor < 1 {
+		o.StragglerFactor = 2.0
+	}
+}
+
+// ClusterReport is the merged view of every rank's registry snapshot,
+// plus the per-rank detail the reduction consumed. Rank i's snapshot is
+// PerRank[i] (Allgather order).
+type ClusterReport struct {
+	PerRank    []metrics.RegistrySnapshot `json:"per_rank"`
+	Merged     metrics.RegistrySnapshot   `json:"merged"`
+	Stragglers []int                      `json:"stragglers,omitempty"`
+	Options    ReportOptions              `json:"options"`
+}
+
+// BuildClusterReport folds per-rank snapshots (index = rank) into a
+// cluster view and flags stragglers: ranks whose p99 on the straggler
+// metric exceeds the median rank's p99 by the configured factor. It is
+// pure — the simulator builds reports without a communicator, and the
+// collective path (GatherReport) layers only the Allgather on top.
+func BuildClusterReport(snaps []metrics.RegistrySnapshot, opts ReportOptions) ClusterReport {
+	opts.defaults()
+	r := ClusterReport{PerRank: snaps, Options: opts}
+	for _, s := range snaps {
+		r.Merged = r.Merged.Merge(s)
+	}
+	// Straggler detection: compare each rank's p99 to the median rank.
+	p99s := make([]time.Duration, len(snaps))
+	for i, s := range snaps {
+		p99s[i] = s.Histograms[opts.StragglerMetric].P99
+	}
+	sorted := append([]time.Duration(nil), p99s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) == 0 {
+		return r
+	}
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return r // no signal on the chosen metric
+	}
+	limit := time.Duration(float64(median) * opts.StragglerFactor)
+	for rank, p := range p99s {
+		if p > limit {
+			r.Stragglers = append(r.Stragglers, rank)
+		}
+	}
+	return r
+}
+
+// GatherReport is the cluster-report collective: every rank snapshots
+// reg, an Allgather exchanges the serialized snapshots, and every rank
+// returns the same merged report (callers typically render it on rank 0
+// only). Every rank of the communicator must call it together.
+func GatherReport(comm *mpi.Comm, reg *metrics.Registry, opts ReportOptions) (ClusterReport, error) {
+	frame, err := reg.Snapshot().Encode()
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("fanstore: report encode: %w", err)
+	}
+	frames, err := comm.Allgather(frame)
+	if err != nil {
+		return ClusterReport{}, fmt.Errorf("fanstore: report allgather: %w", err)
+	}
+	snaps := make([]metrics.RegistrySnapshot, len(frames))
+	for rank, f := range frames {
+		s, err := metrics.DecodeSnapshot(f)
+		if err != nil {
+			return ClusterReport{}, fmt.Errorf("fanstore: rank %d report: %w", rank, err)
+		}
+		snaps[rank] = s
+	}
+	return BuildClusterReport(snaps, opts), nil
+}
+
+// counterTotal sums a counter across the merged view (0 when absent).
+func (r *ClusterReport) counterTotal(name string) int64 {
+	return r.Merged.Counters[name]
+}
+
+// CacheHitRatio is hits / (hits + misses) across the cluster.
+func (r *ClusterReport) CacheHitRatio() float64 {
+	h := float64(r.counterTotal("fanstore.cache.hits"))
+	m := float64(r.counterTotal("fanstore.cache.misses"))
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
+}
+
+// Render writes the human-readable cluster report: totals, the latency
+// mode split the paper's evaluation keys on (open/fetch/decompress),
+// cache behaviour, failovers, per-rank p99 spread, and flagged
+// stragglers.
+func (r *ClusterReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== cluster I/O report (%d ranks) ===\n", len(r.PerRank))
+	opens := r.counterTotal("fanstore.opens.local") +
+		r.counterTotal("fanstore.opens.remote")
+	fmt.Fprintf(w, "opens: %d total  local=%d remote=%d zerocopy=%d\n",
+		opens,
+		r.counterTotal("fanstore.opens.local"),
+		r.counterTotal("fanstore.opens.remote"),
+		r.counterTotal("fanstore.opens.zerocopy"))
+	if r.Options.Elapsed > 0 && opens > 0 {
+		fmt.Fprintf(w, "throughput: %.1f files/s over %v\n",
+			float64(opens)/r.Options.Elapsed.Seconds(), r.Options.Elapsed)
+	}
+	for _, h := range []struct{ label, name string }{
+		{"open", "fanstore.open.latency"},
+		{"fetch", "fanstore.fetch.latency"},
+		{"decompress", "fanstore.decompress.latency"},
+		{"rpc service", "rpc.server.service.latency"},
+	} {
+		s, ok := r.Merged.Histograms[h.name]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %s\n", h.label+":", s.String())
+	}
+	fmt.Fprintf(w, "cache: hit ratio %.1f%%  evictions=%d  prefetched opens=%d\n",
+		100*r.CacheHitRatio(),
+		r.counterTotal("fanstore.cache.evictions"),
+		r.counterTotal("fanstore.cache.prefetched_opens"))
+	fmt.Fprintf(w, "remote: %d B fetched  failovers=%d  batched fetches=%d\n",
+		r.counterTotal("fanstore.bytes.remote"),
+		r.counterTotal("fanstore.failovers"),
+		r.counterTotal("fanstore.fetch.batched"))
+	var spread []string
+	for rank, s := range r.PerRank {
+		spread = append(spread, fmt.Sprintf("r%d=%v", rank, s.Histograms[r.Options.StragglerMetric].P99))
+	}
+	fmt.Fprintf(w, "per-rank p99 %s: %s\n", r.Options.StragglerMetric, strings.Join(spread, " "))
+	if len(r.Stragglers) > 0 {
+		labels := make([]string, len(r.Stragglers))
+		for i, rank := range r.Stragglers {
+			labels[i] = fmt.Sprintf("rank %d", rank)
+		}
+		fmt.Fprintf(w, "STRAGGLERS (p99 > %.1fx median): %s\n",
+			r.Options.StragglerFactor, strings.Join(labels, ", "))
+	} else {
+		fmt.Fprintf(w, "stragglers: none\n")
+	}
+}
+
+// String renders the report to a string.
+func (r *ClusterReport) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}

@@ -40,6 +40,7 @@ import (
 	"fanstore/internal/mpi"
 	"fanstore/internal/pack"
 	"fanstore/internal/rpc"
+	"fanstore/internal/trace"
 )
 
 // Message tags used by the FanStore daemon protocol.
@@ -116,6 +117,15 @@ type Options struct {
 	// FetchBackoff is the pause before the first same-peer retry,
 	// doubling per attempt (default 0: immediate).
 	FetchBackoff time.Duration
+	// Metrics re-homes every data-path instrument (cache, rpc, store) in
+	// a shared registry, so one snapshot captures the whole rank and the
+	// cluster report can merge rank snapshots name-by-name. Nil means a
+	// private registry: counters still work, Stats() stays truthful.
+	Metrics *metrics.Registry
+	// Tracer records per-operation spans (open, fetch, decompress, evict,
+	// prefetch) into a fixed-size ring for Chrome trace export. Nil
+	// disables tracing at zero cost on the hot path.
+	Tracer *trace.Tracer
 }
 
 // RingReplicate passes each rank's partition blobs to its ring neighbor
@@ -221,13 +231,37 @@ type Node struct {
 	closed   atomic.Bool
 	daemon   sync.WaitGroup // the write-metadata service loop
 
-	localOpens, remoteOpens, decompresses atomic.Int64
-	zeroCopyOpens, failovers              atomic.Int64
-	bytesRead, remoteBytes                atomic.Int64
-	batchedFetches                        atomic.Int64
+	// Registry-backed data-path instruments ("fanstore.*"); Stats() and
+	// Metrics() are thin views over them.
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 
-	openHist  metrics.Histogram // whole open(): lookup + fetch + decompress
-	fetchHist metrics.Histogram // remote fetch round trips only
+	localOpens, remoteOpens, zeroCopyOpens *metrics.Counter
+	decompresses, failovers                *metrics.Counter
+	bytesRead, remoteBytes                 *metrics.Counter
+	batchedFetches                         *metrics.Counter
+
+	openHist       *metrics.Histogram // whole open(): lookup + fetch + decompress
+	fetchHist      *metrics.Histogram // remote fetch round trips only
+	decompressHist *metrics.Histogram // codec time per decompressed object
+	readHist       *metrics.Histogram // whole-file reads (ReadFile)
+}
+
+// instrument registers the node's counters and histograms in its
+// registry. Mount calls it before any traffic.
+func (n *Node) instrument() {
+	n.localOpens = n.reg.Counter("fanstore.opens.local")
+	n.remoteOpens = n.reg.Counter("fanstore.opens.remote")
+	n.zeroCopyOpens = n.reg.Counter("fanstore.opens.zerocopy")
+	n.decompresses = n.reg.Counter("fanstore.decompresses")
+	n.failovers = n.reg.Counter("fanstore.failovers")
+	n.bytesRead = n.reg.Counter("fanstore.bytes.read")
+	n.remoteBytes = n.reg.Counter("fanstore.bytes.remote")
+	n.batchedFetches = n.reg.Counter("fanstore.fetch.batched")
+	n.openHist = n.reg.Histogram("fanstore.open.latency")
+	n.fetchHist = n.reg.Histogram("fanstore.fetch.latency")
+	n.decompressHist = n.reg.Histogram("fanstore.decompress.latency")
+	n.readHist = n.reg.Histogram("fanstore.read.latency")
 }
 
 // Metrics exposes the node's latency histograms: open() end-to-end, the
@@ -269,6 +303,12 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 			backend = NewRAMBackend()
 		}
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		// A private registry keeps Stats()/Metrics() truthful even when
+		// the caller did not ask for unified observability.
+		reg = metrics.NewRegistry()
+	}
 	n := &Node{
 		comm:     comm,
 		cache:    NewCache(opts.CacheBytes, opts.CachePolicy),
@@ -277,12 +317,20 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 		dirs:     newDirIndex(),
 		writes:   make(map[string][]byte),
 		inflight: make(map[string]*fetchCall),
+		reg:      reg,
+		tracer:   opts.Tracer,
 	}
-	n.server = rpc.NewServer(comm, tagFetch, n.handleFetch, rpc.ServerOptions{Workers: opts.FetchWorkers})
+	n.instrument()
+	n.cache.instrument(reg, opts.Tracer)
+	n.server = rpc.NewServer(comm, tagFetch, n.handleFetch, rpc.ServerOptions{
+		Workers: opts.FetchWorkers,
+		Metrics: reg,
+	})
 	n.client = rpc.NewClient(comm, tagFetch, tagRespBase, rpc.ClientOptions{
 		Timeout: opts.FetchTimeout,
 		Retries: opts.FetchRetries,
 		Backoff: opts.FetchBackoff,
+		Metrics: reg,
 	})
 
 	// Load assigned partitions into the local backend (§IV-C1).
@@ -509,16 +557,24 @@ func (n *Node) fetchCandidates(m *FileMeta) []int {
 }
 
 // fetchRemote retrieves the compressed object for m over the interconnect
-// (§IV-C2) and returns (compressorID, compressed). Routing is
+// (§IV-C2) and returns (compressorID, compressed, outcome). Routing is
 // replica-aware: requests rotate across the owner and its replicas to
 // spread load, and an errored peer triggers failover to the next
 // candidate, so a lost rank degrades throughput instead of killing opens.
-func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, error) {
+// The outcome distinguishes a first-candidate success (remote-fetch) from
+// one that needed failover, so the open span carries routing health.
+func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 	start := time.Now()
-	defer func() { n.fetchHist.Observe(time.Since(start)) }()
+	tstart := n.tracer.Begin()
+	outcome := trace.OutcomeRemoteFetch
+	defer func() {
+		n.fetchHist.Observe(time.Since(start))
+		n.tracer.End(trace.OpFetch, m.Path, outcome, tstart)
+	}()
 	cands := n.fetchCandidates(m)
 	if len(cands) == 0 {
-		return 0, nil, fmt.Errorf("%w: no remote rank serves %q", ErrRemoteGone, m.Path)
+		outcome = trace.OutcomeError
+		return 0, nil, outcome, fmt.Errorf("%w: no remote rank serves %q", ErrRemoteGone, m.Path)
 	}
 	first := int(n.routeSeq.Add(1)) % len(cands)
 	var lastErr error
@@ -533,17 +589,19 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, error) {
 				continue
 			}
 			n.remoteBytes.Add(int64(len(resp)))
-			return binary.LittleEndian.Uint16(resp), resp[2:], nil
+			return binary.LittleEndian.Uint16(resp), resp[2:], outcome, nil
 		}
 		lastErr = err
 		if errors.Is(err, mpi.ErrAborted) {
 			break // the world is gone; no candidate can answer
 		}
 		if i+1 < len(cands) {
-			n.failovers.Add(1)
+			n.failovers.Inc()
+			outcome = trace.OutcomeFailover
 		}
 	}
-	return 0, nil, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
+	outcome = trace.OutcomeError
+	return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
 }
 
 // prefetchTarget is one not-yet-staged remote object being walked
@@ -568,6 +626,8 @@ func (n *Node) Prefetch(paths []string) int {
 	if n.closed.Load() || len(paths) == 0 {
 		return 0
 	}
+	tstart := n.tracer.Begin()
+	defer n.tracer.End(trace.OpPrefetch, "", trace.OutcomeNone, tstart)
 	// Resolve the window down to remote, uncached, not-in-flight paths.
 	targets := make([]*prefetchTarget, 0, len(paths))
 	seen := make(map[string]bool, len(paths))
@@ -646,7 +706,7 @@ func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, faile
 		keys[i] = t.m.Path
 	}
 	req := append([]byte{opFetchMany}, rpc.EncodeKeys(keys)...)
-	n.batchedFetches.Add(1)
+	n.batchedFetches.Inc()
 	resp, err := n.client.Call(dst, req)
 	if err != nil {
 		return 0, group
@@ -681,14 +741,19 @@ func (n *Node) decompress(m *FileMeta, compressorID uint16, comp []byte) ([]byte
 	if !ok {
 		return nil, fmt.Errorf("fanstore: %s: unknown compressor %d", m.Path, compressorID)
 	}
+	start := time.Now()
+	tstart := n.tracer.Begin()
 	out, err := cfg.Codec.Decompress(make([]byte, 0, m.Size), comp)
+	n.decompressHist.Observe(time.Since(start))
 	if err != nil {
+		n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeError, tstart)
 		return nil, fmt.Errorf("fanstore: %s: %w", m.Path, err)
 	}
+	n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeNone, tstart)
 	if int64(len(out)) != m.Size {
 		return nil, fmt.Errorf("fanstore: %s: decompressed %d bytes, metadata says %d", m.Path, len(out), m.Size)
 	}
-	n.decompresses.Add(1)
+	n.decompresses.Inc()
 	return out, nil
 }
 
@@ -705,23 +770,23 @@ type fetchCall struct {
 // opens of the same uncached file share one fetch. pinned reports
 // whether the returned bytes hold a cache pin the caller must Release —
 // false only for the zero-copy passthrough path, which never enters the
-// cache.
-func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, err error) {
+// cache. outcome tells the tracer which arm of Fig. 2 served the open.
+func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, outcome trace.Outcome, err error) {
 	for {
 		if data, ok := n.cache.Acquire(m.Path); ok {
-			return data, true, nil
+			return data, true, trace.OutcomeCacheHit, nil
 		}
 		n.inflightMu.Lock()
 		if call, ok := n.inflight[m.Path]; ok {
 			n.inflightMu.Unlock()
 			<-call.done
 			if call.err != nil {
-				return nil, false, call.err
+				return nil, false, trace.OutcomeError, call.err
 			}
 			// The leader holds a pin; Acquire shares it. If the entry
 			// was already evicted (tiny cache), loop and refetch.
 			if data, ok := n.cache.Acquire(m.Path); ok {
-				return data, true, nil
+				return data, true, trace.OutcomeCacheHit, nil
 			}
 			continue
 		}
@@ -729,58 +794,63 @@ func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, err error) {
 		n.inflight[m.Path] = call
 		n.inflightMu.Unlock()
 
-		data, pinned, err := n.produceBytes(m)
+		data, pinned, outcome, err := n.produceBytes(m)
 		call.data, call.err = data, err
 		n.inflightMu.Lock()
 		delete(n.inflight, m.Path)
 		n.inflightMu.Unlock()
 		close(call.done)
-		return data, pinned, err
+		return data, pinned, outcome, err
 	}
 }
 
 // produceBytes performs the actual Fig. 2 data path for one file.
 // pinned is false for the zero-copy path (no cache entry to release).
-func (n *Node) produceBytes(m *FileMeta) (data []byte, pinned bool, err error) {
+func (n *Node) produceBytes(m *FileMeta) (data []byte, pinned bool, outcome trace.Outcome, err error) {
 	n.mu.RLock()
 	wdata, written := n.writes[m.Path]
 	n.mu.RUnlock()
 	switch {
 	case written:
-		n.localOpens.Add(1)
-		return n.cache.Insert(m.Path, wdata), true, nil
+		n.localOpens.Inc()
+		return n.cache.Insert(m.Path, wdata), true, trace.OutcomeMetaHit, nil
 	case n.backend.Contains(m.Path):
-		n.localOpens.Add(1)
+		n.localOpens.Inc()
 		// Uncompressed RAM-resident objects are served zero-copy from the
 		// partition blob: no decompression, no cache footprint (the blob
 		// is already resident node-local storage). Counted separately so
 		// Stats stays truthful for uncompressed datasets.
+		outcome = trace.OutcomeLocal
 		if id, raw, ok := n.backend.Peek(m.Path); ok {
 			if payload, ok := codec.Passthrough(id, raw); ok {
-				n.zeroCopyOpens.Add(1)
-				return payload, false, nil
+				n.zeroCopyOpens.Inc()
+				return payload, false, trace.OutcomeZeroCopy, nil
 			}
+		} else {
+			// Peek declined: the compressed object lives on the spill
+			// backend, so this open pays a disk read.
+			outcome = trace.OutcomeSpill
 		}
 		id, comp, err := n.backend.Get(m.Path)
 		if err != nil {
-			return nil, false, err
+			return nil, false, trace.OutcomeError, err
 		}
 		data, err := n.decompress(m, id, comp)
 		if err != nil {
-			return nil, false, err
+			return nil, false, trace.OutcomeError, err
 		}
-		return n.cache.Insert(m.Path, data), true, nil
+		return n.cache.Insert(m.Path, data), true, outcome, nil
 	default:
-		n.remoteOpens.Add(1)
-		id, comp, err := n.fetchRemote(m)
+		n.remoteOpens.Inc()
+		id, comp, outcome, err := n.fetchRemote(m)
 		if err != nil {
-			return nil, false, err
+			return nil, false, outcome, err
 		}
 		data, err := n.decompress(m, id, comp)
 		if err != nil {
-			return nil, false, err
+			return nil, false, trace.OutcomeError, err
 		}
-		return n.cache.Insert(m.Path, data), true, nil
+		return n.cache.Insert(m.Path, data), true, outcome, nil
 	}
 }
 
@@ -803,23 +873,32 @@ func (n *Node) Close() error {
 	return n.backend.Close()
 }
 
-// Stats snapshots the node's data-path counters.
+// Stats snapshots the node's data-path counters — a thin view over the
+// registry instruments, kept for tests and existing callers.
 func (n *Node) Stats() Stats {
 	return Stats{
-		LocalOpens:      n.localOpens.Load(),
-		RemoteOpens:     n.remoteOpens.Load(),
-		ZeroCopyOpens:   n.zeroCopyOpens.Load(),
-		Decompresses:    n.decompresses.Load(),
-		BytesRead:       n.bytesRead.Load(),
-		RemoteBytes:     n.remoteBytes.Load(),
-		Failovers:       n.failovers.Load(),
-		BatchedFetches:  n.batchedFetches.Load(),
+		LocalOpens:      n.localOpens.Value(),
+		RemoteOpens:     n.remoteOpens.Value(),
+		ZeroCopyOpens:   n.zeroCopyOpens.Value(),
+		Decompresses:    n.decompresses.Value(),
+		BytesRead:       n.bytesRead.Value(),
+		RemoteBytes:     n.remoteBytes.Value(),
+		Failovers:       n.failovers.Value(),
+		BatchedFetches:  n.batchedFetches.Value(),
 		PrefetchedOpens: n.cache.prefetchedOpens(),
 		Cache:           n.cache.Stats(),
 		Daemon:          n.server.Stats(),
 		RPC:             n.client.Stats(),
 	}
 }
+
+// Registry exposes the node's metrics registry (the one passed in
+// Options.Metrics, or the private one Mount created). Cluster reports
+// snapshot it; CLI flags dump it.
+func (n *Node) Registry() *metrics.Registry { return n.reg }
+
+// Tracer exposes the node's span tracer (nil when tracing is disabled).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Rank returns the rank this node runs on.
 func (n *Node) Rank() int { return n.comm.Rank() }

@@ -83,7 +83,17 @@ func (h *Histogram) Mean() time.Duration {
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1),
 // accurate to the bucket resolution (a factor of two).
 func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
+	var buckets [numBuckets]int64
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return bucketQuantile(&buckets, h.count.Load(), q)
+}
+
+// bucketQuantile computes the q-quantile upper bound over a bucket
+// array; shared by live histograms and snapshots so merged snapshots
+// answer quantile queries identically.
+func bucketQuantile(buckets *[numBuckets]int64, n int64, q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
@@ -99,7 +109,7 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	var cum int64
 	for i := 0; i < numBuckets; i++ {
-		cum += h.buckets[i].Load()
+		cum += buckets[i]
 		if cum >= target {
 			return bucketUpper(i)
 		}
@@ -107,14 +117,31 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return bucketUpper(numBuckets - 1)
 }
 
-// Snapshot is a point-in-time copy for reporting.
+// Merge folds every sample recorded in o into h. Both histograms stay
+// usable; concurrent Observes on either side land in one histogram or
+// the other but are never lost.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range h.buckets {
+		h.buckets[i].Add(o.buckets[i].Load())
+	}
+}
+
+// Snapshot is a point-in-time copy for reporting. Count, Sum, and
+// Buckets are the mergeable state; Mean/P50/P99/Max are derived at
+// snapshot (or merge) time for convenience.
 type Snapshot struct {
-	Count   int64
-	Mean    time.Duration
-	P50     time.Duration
-	P99     time.Duration
-	Max     time.Duration // upper bound of the highest non-empty bucket
-	Buckets [numBuckets]int64
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum_us"` // total microseconds
+	Mean    time.Duration     `json:"mean"`
+	P50     time.Duration     `json:"p50"`
+	P99     time.Duration     `json:"p99"`
+	Max     time.Duration     `json:"max"` // upper bound of the highest non-empty bucket
+	Buckets [numBuckets]int64 `json:"buckets"`
 }
 
 // Snapshot captures the histogram's current state. Concurrent Observes
@@ -123,17 +150,48 @@ type Snapshot struct {
 func (h *Histogram) Snapshot() Snapshot {
 	s := Snapshot{
 		Count: h.count.Load(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P99:   h.Quantile(0.99),
+		Sum:   h.sum.Load(),
 	}
 	for i := range s.Buckets {
 		s.Buckets[i] = h.buckets[i].Load()
-		if s.Buckets[i] > 0 {
+	}
+	s.derive()
+	return s
+}
+
+// derive recomputes the convenience fields from Count/Sum/Buckets.
+func (s *Snapshot) derive() {
+	s.Mean = 0
+	if s.Count > 0 {
+		s.Mean = time.Duration(s.Sum/s.Count) * time.Microsecond
+	}
+	s.P50 = bucketQuantile(&s.Buckets, s.Count, 0.50)
+	s.P99 = bucketQuantile(&s.Buckets, s.Count, 0.99)
+	s.Max = 0
+	for i, c := range s.Buckets {
+		if c > 0 {
 			s.Max = bucketUpper(i)
 		}
 	}
-	return s
+}
+
+// Quantile answers quantile queries on a snapshot, with the same bucket
+// resolution as the live histogram.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	return bucketQuantile(&s.Buckets, s.Count, q)
+}
+
+// Merge returns the snapshot combining s and o, as if every sample of
+// both had been recorded into one histogram. It is commutative and
+// associative, so cluster-wide reductions can fold rank snapshots in
+// any order.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	m := Snapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	for i := range m.Buckets {
+		m.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	m.derive()
+	return m
 }
 
 // String renders a compact summary line.

@@ -15,6 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/trace"
 )
 
 // Reader is the data source: FanStore's Node.ReadFile satisfies it.
@@ -63,6 +67,15 @@ type Options struct {
 	// Lookahead is how many iterations beyond the one being dispatched
 	// are sampled and announced to the Prefetcher (default 2*Depth).
 	Lookahead int
+	// Metrics registers the pipeline's instruments ("prefetch.*"):
+	// wait.latency is how long the consumer stalls in Next (I/O the
+	// pipeline failed to hide), batch.latency is worker time producing
+	// one batch. Nil leaves the instruments unregistered but live.
+	Metrics *metrics.Registry
+	// Tracer records a span per consumer stall (OpWait) and per produced
+	// batch (OpCompute), so the trace timeline shows whether Equation 2
+	// holds — I/O hidden behind compute — or the loop is I/O-bound.
+	Tracer *trace.Tracer
 }
 
 // Pipeline prefetches batches ahead of a training loop.
@@ -71,6 +84,12 @@ type Pipeline struct {
 	stop chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
+
+	waitHist  *metrics.Histogram // consumer stall per Next that blocked
+	batchHist *metrics.Histogram // worker time per produced batch
+	batches   *metrics.Counter
+	stalls    *metrics.Counter
+	tracer    *trace.Tracer
 }
 
 type result struct {
@@ -99,8 +118,13 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 		look = 0 // nobody to announce to; sample lazily as before
 	}
 	p := &Pipeline{
-		out:  make(chan result, depth),
-		stop: make(chan struct{}),
+		out:       make(chan result, depth),
+		stop:      make(chan struct{}),
+		waitHist:  opts.Metrics.Histogram("prefetch.wait.latency"),
+		batchHist: opts.Metrics.Histogram("prefetch.batch.latency"),
+		batches:   opts.Metrics.Counter("prefetch.batches"),
+		stalls:    opts.Metrics.Counter("prefetch.stalls"),
+		tracer:    opts.Tracer,
 	}
 
 	// The sequencer hands iteration indices to workers; a reorder stage
@@ -189,6 +213,8 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 		go func() {
 			defer workerWG.Done()
 			for j := range jobs {
+				start := time.Now()
+				tstart := p.tracer.Begin()
 				b := Batch{Index: j.index, Paths: j.paths, Data: make([][]byte, 0, len(j.paths))}
 				var err error
 				for _, path := range j.paths {
@@ -199,6 +225,13 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 					}
 					b.Data = append(b.Data, data)
 				}
+				p.batchHist.Observe(time.Since(start))
+				p.batches.Inc()
+				outcome := trace.OutcomeNone
+				if err != nil {
+					outcome = trace.OutcomeError
+				}
+				p.tracer.End(trace.OpCompute, "", outcome, tstart)
 				select {
 				case done <- result{batch: b, err: err}:
 				case <-p.stop:
@@ -261,6 +294,16 @@ func (p *Pipeline) Next() (Batch, bool, error) {
 		return r.batch, r.err == nil, r.err
 	default:
 	}
+	// The fast path missed: the consumer is about to stall on I/O the
+	// pipeline did not hide. Only this blocking portion counts as wait,
+	// so wait.latency measures stalls, not queue polls.
+	start := time.Now()
+	tstart := p.tracer.Begin()
+	p.stalls.Inc()
+	defer func() {
+		p.waitHist.Observe(time.Since(start))
+		p.tracer.End(trace.OpWait, "", trace.OutcomeNone, tstart)
+	}()
 	select {
 	case r, ok := <-p.out:
 		if !ok {

@@ -65,6 +65,11 @@ type ServerOptions struct {
 	// (0 means 4x workers, at least 16). A full queue backpressures
 	// the receive loop rather than growing without bound.
 	Queue int
+	// Metrics is the registry the server's instruments live in
+	// ("rpc.server.*"). Nil means a private, unexported registry — the
+	// counters still work, they just aren't part of a rank-wide
+	// snapshot.
+	Metrics *metrics.Registry
 }
 
 // ServerStats snapshots the daemon-side counters.
@@ -87,7 +92,8 @@ type request struct {
 
 // Server answers requests on one tag of a communicator through a bounded
 // worker pool. Start it with Serve (usually in a goroutine); Stop unblocks
-// the receive loop and drains the pool.
+// the receive loop and drains the pool. Its counters and gauges are
+// registry-backed ("rpc.server.*"); ServerStats remains as a thin view.
 type Server struct {
 	comm    *mpi.Comm
 	tag     int
@@ -95,10 +101,9 @@ type Server struct {
 	queue   chan request
 	wg      sync.WaitGroup // receive loop + workers
 
-	served, notFound, errors atomic.Int64
-	queueDepth, inService    atomic.Int32
-	maxQueue, maxInService   atomic.Int32
-	serviceHist              metrics.Histogram // handler + reply time
+	served, notFound, errors *metrics.Counter
+	queueDepth, inService    *metrics.Gauge
+	serviceHist              *metrics.Histogram // handler + reply time
 }
 
 // NewServer builds a server for tag on comm. Call Serve to start it.
@@ -117,11 +122,21 @@ func NewServer(comm *mpi.Comm, tag int, handler Handler, opts ServerOptions) *Se
 			depth = 16
 		}
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
-		comm:    comm,
-		tag:     tag,
-		handler: handler,
-		queue:   make(chan request, depth),
+		comm:        comm,
+		tag:         tag,
+		handler:     handler,
+		queue:       make(chan request, depth),
+		served:      reg.Counter("rpc.server.served"),
+		notFound:    reg.Counter("rpc.server.notfound"),
+		errors:      reg.Counter("rpc.server.errors"),
+		queueDepth:  reg.Gauge("rpc.server.queue"),
+		inService:   reg.Gauge("rpc.server.inservice"),
+		serviceHist: reg.Histogram("rpc.server.service.latency"),
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -151,7 +166,7 @@ func (s *Server) Serve() {
 			continue // malformed frame; nothing to even reply to
 		}
 		respTag := int(binary.LittleEndian.Uint32(data))
-		gaugeUp(&s.queueDepth, &s.maxQueue)
+		s.queueDepth.Inc()
 		s.queue <- request{src: src, respTag: respTag, payload: data[4:]}
 	}
 }
@@ -160,12 +175,12 @@ func (s *Server) Serve() {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for req := range s.queue {
-		s.queueDepth.Add(-1)
-		gaugeUp(&s.inService, &s.maxInService)
+		s.queueDepth.Dec()
+		s.inService.Inc()
 		start := time.Now()
 		s.answer(req)
 		s.serviceHist.Observe(time.Since(start))
-		s.inService.Add(-1)
+		s.inService.Dec()
 	}
 }
 
@@ -178,16 +193,16 @@ func (s *Server) answer(req request) {
 		resp = make([]byte, 1, 1+len(payload))
 		resp[0] = statusOK
 		resp = append(resp, payload...)
-		s.served.Add(1)
+		s.served.Inc()
 	case errors.Is(err, ErrNotFound):
 		resp = []byte{statusNotFound}
-		s.notFound.Add(1)
+		s.notFound.Inc()
 	default:
 		msg := err.Error()
 		resp = make([]byte, 1, 1+len(msg))
 		resp[0] = statusError
 		resp = append(resp, msg...)
-		s.errors.Add(1)
+		s.errors.Inc()
 	}
 	_ = s.comm.Send(req.src, req.respTag, resp)
 }
@@ -204,33 +219,22 @@ func (s *Server) Stop() {
 // Wait blocks until the receive loop and every worker have exited.
 func (s *Server) Wait() { s.wg.Wait() }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters — a thin view over the
+// registry-backed instruments, kept for existing callers and tests.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Served:       s.served.Load(),
-		NotFound:     s.notFound.Load(),
-		Errors:       s.errors.Load(),
-		QueueDepth:   s.queueDepth.Load(),
-		MaxQueue:     s.maxQueue.Load(),
-		InService:    s.inService.Load(),
-		MaxInService: s.maxInService.Load(),
+		Served:       s.served.Value(),
+		NotFound:     s.notFound.Value(),
+		Errors:       s.errors.Value(),
+		QueueDepth:   int32(s.queueDepth.Value()),
+		MaxQueue:     int32(s.queueDepth.Max()),
+		InService:    int32(s.inService.Value()),
+		MaxInService: int32(s.inService.Max()),
 	}
 }
 
 // ServiceTime snapshots the in-service time histogram (handler + reply).
 func (s *Server) ServiceTime() metrics.Snapshot { return s.serviceHist.Snapshot() }
-
-// gaugeUp increments a gauge and folds the new value into its high-water
-// mark.
-func gaugeUp(gauge, max *atomic.Int32) {
-	v := gauge.Add(1)
-	for {
-		m := max.Load()
-		if v <= m || max.CompareAndSwap(m, v) {
-			return
-		}
-	}
-}
 
 // ClientOptions configures per-call behaviour.
 type ClientOptions struct {
@@ -243,6 +247,9 @@ type ClientOptions struct {
 	// Backoff is the pause before the first retry; it doubles per
 	// attempt. 0 means retry immediately.
 	Backoff time.Duration
+	// Metrics is the registry the client's instruments live in
+	// ("rpc.client.*"). Nil means a private registry.
+	Metrics *metrics.Registry
 }
 
 // ClientStats snapshots the caller-side counters.
@@ -262,26 +269,37 @@ type Client struct {
 	opts     ClientOptions
 
 	seq                      atomic.Int64
-	calls, retries, timeouts atomic.Int64
+	calls, retries, timeouts *metrics.Counter
+	attemptHist              *metrics.Histogram // per-attempt round-trip time
 }
 
 // NewClient builds a client for servers on tag. respBase is the first of
 // a tag range reserved for responses; it must not collide with any other
 // tag traffic on the communicator.
 func NewClient(comm *mpi.Comm, tag, respBase int, opts ClientOptions) *Client {
-	return &Client{comm: comm, tag: tag, respBase: respBase, opts: opts}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Client{
+		comm: comm, tag: tag, respBase: respBase, opts: opts,
+		calls:       reg.Counter("rpc.client.calls"),
+		retries:     reg.Counter("rpc.client.retries"),
+		timeouts:    reg.Counter("rpc.client.timeouts"),
+		attemptHist: reg.Histogram("rpc.client.attempt.latency"),
+	}
 }
 
 // Call sends req to dst and returns the response payload, retrying per
 // the client options. The returned error wraps ErrNotFound, ErrRemote,
 // or ErrTimeout so routing layers can decide whether to fail over.
 func (c *Client) Call(dst int, req []byte) ([]byte, error) {
-	c.calls.Add(1)
+	c.calls.Inc()
 	backoff := c.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
-			c.retries.Add(1)
+			c.retries.Inc()
 			if backoff > 0 {
 				time.Sleep(backoff)
 				backoff *= 2
@@ -299,8 +317,12 @@ func (c *Client) Call(dst int, req []byte) ([]byte, error) {
 	return nil, lastErr
 }
 
-// attempt performs one framed round trip.
+// attempt performs one framed round trip, observing its duration in the
+// per-attempt latency histogram (success or failure — a timed-out
+// attempt is exactly the sample a stall investigation needs).
 func (c *Client) attempt(dst int, req []byte) ([]byte, error) {
+	start := time.Now()
+	defer metrics.ObserveSince(c.attemptHist, start)
 	respTag := c.respBase + int(c.seq.Add(1))
 	frame := make([]byte, 4, 4+len(req))
 	binary.LittleEndian.PutUint32(frame, uint32(respTag))
@@ -310,7 +332,7 @@ func (c *Client) attempt(dst int, req []byte) ([]byte, error) {
 	}
 	resp, _, err := c.comm.RecvDeadline(dst, respTag, c.opts.Timeout)
 	if errors.Is(err, mpi.ErrTimeout) {
-		c.timeouts.Add(1)
+		c.timeouts.Inc()
 		return nil, fmt.Errorf("%w: rank %d after %v", ErrTimeout, dst, c.opts.Timeout)
 	}
 	if err != nil {
@@ -329,11 +351,12 @@ func (c *Client) attempt(dst int, req []byte) ([]byte, error) {
 	}
 }
 
-// Stats snapshots the client counters.
+// Stats snapshots the client counters — a thin view over the
+// registry-backed instruments.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Calls:    c.calls.Load(),
-		Retries:  c.retries.Load(),
-		Timeouts: c.timeouts.Load(),
+		Calls:    c.calls.Value(),
+		Retries:  c.retries.Value(),
+		Timeouts: c.timeouts.Value(),
 	}
 }

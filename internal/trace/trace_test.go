@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	start := tr.Begin()
+	if !start.IsZero() {
+		t.Fatal("nil Begin read the clock")
+	}
+	tr.End(OpOpen, "a", OutcomeCacheHit, start)
+	tr.Event(OpEvict, "a", OutcomeNone)
+	tr.Record(OpEpoch, "", OutcomeNone, 0, time.Second)
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	if tr.Rank() != -1 {
+		t.Fatalf("nil Rank() = %d", tr.Rank())
+	}
+}
+
+// TestDisabledTracingZeroAlloc is the acceptance gate for leaving
+// instrumentation unconditionally in hot paths: with tracing disabled
+// (nil tracer) the Begin/End pair must not allocate.
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := tr.Begin()
+		tr.End(OpOpen, "some/training/file.bin", OutcomeCacheHit, start)
+		tr.Event(OpEvict, "some/training/file.bin", OutcomeNone)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// Steady-state enabled tracing must not allocate either once the path
+// is interned: the ring slot is reused and the map lookup is read-only.
+func TestEnabledSteadyStateZeroAlloc(t *testing.T) {
+	tr := New(0, 16)
+	tr.Event(OpOpen, "file", OutcomeCacheHit) // intern the path
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.End(OpOpen, "file", OutcomeCacheHit, tr.Begin())
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tracing allocates %.1f per span, want 0", allocs)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := NewSynthetic(2, 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(OpOpen, "p", OutcomeLocal, time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d spans, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	// The most recent 4 spans survive, in recording order.
+	for i, s := range spans {
+		want := time.Duration(6+i) * time.Millisecond
+		if s.Start != want {
+			t.Fatalf("span %d start %v, want %v", i, s.Start, want)
+		}
+		if s.Rank != 2 {
+			t.Fatalf("span %d rank %d, want 2", i, s.Rank)
+		}
+	}
+}
+
+func TestPathInterning(t *testing.T) {
+	tr := NewSynthetic(0, 8)
+	tr.Record(OpOpen, "a", OutcomeLocal, 0, 0)
+	tr.Record(OpOpen, "b", OutcomeLocal, 1, 0)
+	tr.Record(OpOpen, "a", OutcomeLocal, 2, 0)
+	spans := tr.Spans()
+	if spans[0].PathID != spans[2].PathID {
+		t.Fatal("same path interned twice")
+	}
+	if spans[0].PathID == spans[1].PathID {
+		t.Fatal("distinct paths share an id")
+	}
+	if got := tr.PathName(spans[1].PathID); got != "b" {
+		t.Fatalf("PathName = %q, want b", got)
+	}
+	if tr.PathName(0) != "" || tr.PathName(999) != "" {
+		t.Fatal("unknown ids must resolve to empty")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(0, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.End(OpOpen, "shared/path", OutcomeCacheHit, tr.Begin())
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("recorded %d spans, want 800", tr.Len())
+	}
+}
+
+// chromeEvent mirrors the required fields of a trace-event entry.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Path string `json:"path"`
+	} `json:"args"`
+}
+
+// validateChrome decodes trace-event JSON and checks the structural
+// invariants the acceptance criteria pin: valid JSON array, required
+// fields on every event, events sorted by ts, and tids matching the
+// expected rank set.
+func validateChrome(t *testing.T, data []byte, wantRanks map[int]bool) []chromeEvent {
+	t.Helper()
+	var evs []chromeEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	seen := map[int]bool{}
+	last := -1.0
+	for i, e := range evs {
+		if e.Ph != "X" {
+			t.Fatalf("event %d: ph %q, want X", i, e.Ph)
+		}
+		if e.Name == "" || e.Cat == "" {
+			t.Fatalf("event %d: missing name/cat: %+v", i, e)
+		}
+		if e.Ts < last {
+			t.Fatalf("event %d: ts %.3f < previous %.3f (not sorted)", i, e.Ts, last)
+		}
+		last = e.Ts
+		if !wantRanks[e.Tid] {
+			t.Fatalf("event %d: unexpected tid %d", i, e.Tid)
+		}
+		seen[e.Tid] = true
+	}
+	if len(seen) != len(wantRanks) {
+		t.Fatalf("trace covers ranks %v, want %d ranks", seen, len(wantRanks))
+	}
+	return evs
+}
+
+func TestWriteChromeMergesRanks(t *testing.T) {
+	var tracers []*Tracer
+	for r := 0; r < 3; r++ {
+		tr := NewSynthetic(r, 64)
+		for i := 0; i < 5; i++ {
+			start := time.Duration(i*3+r) * time.Millisecond
+			tr.Record(OpOpen, "data/file", OutcomeRemoteFetch, start, time.Millisecond)
+		}
+		tracers = append(tracers, tr)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tracers...); err != nil {
+		t.Fatal(err)
+	}
+	evs := validateChrome(t, buf.Bytes(), map[int]bool{0: true, 1: true, 2: true})
+	if len(evs) != 15 {
+		t.Fatalf("%d events, want 15", len(evs))
+	}
+	if evs[0].Args.Path != "data/file" {
+		t.Fatalf("args.path = %q", evs[0].Args.Path)
+	}
+	if evs[0].Cat != "remote-fetch" {
+		t.Fatalf("cat = %q, want remote-fetch", evs[0].Cat)
+	}
+}
+
+func TestWriteChromeEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil, NewSynthetic(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("%d events from empty tracers", len(evs))
+	}
+}
+
+func TestOpAndOutcomeNames(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	for oc := Outcome(1); oc < numOutcomes; oc++ {
+		if oc.String() == "" {
+			t.Fatalf("outcome %d has no name", oc)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Fatal("unknown op formatting")
+	}
+}
+
+// The benchmark pair behind DESIGN.md's overhead budget: a Begin/End
+// span with tracing disabled (nil tracer) vs. enabled steady state.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.End(OpOpen, "some/training/file.bin", OutcomeCacheHit, tr.Begin())
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(0, 1<<14)
+	tr.Event(OpOpen, "some/training/file.bin", OutcomeCacheHit)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.End(OpOpen, "some/training/file.bin", OutcomeCacheHit, tr.Begin())
+	}
+}

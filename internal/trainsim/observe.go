@@ -1,0 +1,77 @@
+package trainsim
+
+import (
+	"time"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/trace"
+)
+
+// SimObserver carries the observability sinks for a simulated run: a
+// synthetic tracer (zero-epoch timeline) and a metrics registry. Either
+// may be nil; the simulation then skips that sink.
+type SimObserver struct {
+	Tracer  *trace.Tracer
+	Metrics *metrics.Registry
+	// Skew multiplies this rank's I/O time, injecting a deterministic
+	// straggler (1 or 0 means healthy). The cluster report's straggler
+	// detector must flag a rank simulated with Skew >> 1.
+	Skew float64
+}
+
+// TraceEpochs replays a training run of the given epoch count onto the
+// observer's sinks: per epoch one OpEpoch span plus the wait/compute
+// split of §VI-A (for async pipelines the stall is the I/O excess over
+// compute; synchronous pipelines stall for the full I/O term), and
+// registry histograms "trainsim.epoch.latency" / "trainsim.iter.latency"
+// with counters "trainsim.epochs" / "trainsim.iters". It returns the
+// simulated wall time, which equals TrainTime(epochs, dataSize) when the
+// observer is unskewed.
+func (c Config) TraceEpochs(epochs, dataSize int, obs SimObserver) time.Duration {
+	skew := obs.Skew
+	if skew <= 0 {
+		skew = 1
+	}
+	io := time.Duration(float64(c.IOTime()) * skew)
+	compute := c.ComputeTime()
+	iter := compute + io
+	stall := io
+	if !c.App.Sync {
+		iter = compute
+		stall = 0
+		if io > compute {
+			iter = io
+			stall = io - compute
+		}
+	}
+	iters := NumIters(1, dataSize, c.App.CBatch*c.Nodes)
+	epochDur := time.Duration(iters) * iter
+	epochStall := time.Duration(iters) * stall
+
+	epochHist := obs.Metrics.Histogram("trainsim.epoch.latency")
+	iterHist := obs.Metrics.Histogram("trainsim.iter.latency")
+	epochCount := obs.Metrics.Counter("trainsim.epochs")
+	iterCount := obs.Metrics.Counter("trainsim.iters")
+
+	var now time.Duration
+	for e := 0; e < epochs; e++ {
+		obs.Tracer.Record(trace.OpEpoch, "", trace.OutcomeNone, now, epochDur)
+		// The wait/compute split is aggregated per epoch (one span each)
+		// so the trace stays readable at any iteration count; the epoch
+		// span carries the total.
+		if epochStall > 0 {
+			obs.Tracer.Record(trace.OpWait, "", trace.OutcomeNone, now, epochStall)
+			obs.Tracer.Record(trace.OpCompute, "", trace.OutcomeNone, now+epochStall, epochDur-epochStall)
+		} else {
+			obs.Tracer.Record(trace.OpCompute, "", trace.OutcomeNone, now, epochDur)
+		}
+		epochHist.Observe(epochDur)
+		for i := 0; i < iters; i++ {
+			iterHist.Observe(iter)
+		}
+		epochCount.Inc()
+		iterCount.Add(int64(iters))
+		now += epochDur
+	}
+	return now
+}

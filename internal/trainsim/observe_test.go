@@ -1,0 +1,147 @@
+package trainsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"fanstore/internal/cluster"
+	"fanstore/internal/metrics"
+	"fanstore/internal/trace"
+)
+
+func simConfig() Config {
+	return Config{
+		App: cluster.App{
+			Name: "toy", Sync: false, TIter: 100 * time.Millisecond,
+			CBatch: 100, SBatchMB: 10, IOThreads: 4,
+		},
+		Clust: cluster.GTX,
+		Nodes: 4,
+		Ratio: 1,
+	}
+}
+
+func TestTraceEpochsMatchesTrainTime(t *testing.T) {
+	cfg := simConfig()
+	const epochs, dataSize = 3, 4000
+	reg := metrics.NewRegistry()
+	tr := trace.NewSynthetic(0, 1<<10)
+	total := cfg.TraceEpochs(epochs, dataSize, SimObserver{Tracer: tr, Metrics: reg})
+	if want := cfg.TrainTime(epochs, dataSize); total != want {
+		t.Fatalf("simulated %v, TrainTime says %v", total, want)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["trainsim.epochs"]; got != epochs {
+		t.Fatalf("epochs counter = %d, want %d", got, epochs)
+	}
+	iters := NumIters(1, dataSize, cfg.App.CBatch*cfg.Nodes)
+	if got := snap.Counters["trainsim.iters"]; got != int64(epochs*iters) {
+		t.Fatalf("iters counter = %d, want %d", got, epochs*iters)
+	}
+	if snap.Histograms["trainsim.epoch.latency"].Count != epochs {
+		t.Fatalf("epoch histogram: %+v", snap.Histograms["trainsim.epoch.latency"])
+	}
+	// Per epoch: one epoch span plus the wait/compute split.
+	var epochSpans, waitDur, computeDur time.Duration
+	nEpoch := 0
+	for _, s := range tr.Spans() {
+		switch s.Op {
+		case trace.OpEpoch:
+			nEpoch++
+			epochSpans += s.Dur
+		case trace.OpWait:
+			waitDur += s.Dur
+		case trace.OpCompute:
+			computeDur += s.Dur
+		}
+	}
+	if nEpoch != epochs || epochSpans != total {
+		t.Fatalf("epoch spans %d/%v, want %d/%v", nEpoch, epochSpans, epochs, total)
+	}
+	if waitDur+computeDur != total {
+		t.Fatalf("wait %v + compute %v != total %v", waitDur, computeDur, total)
+	}
+	// Nil sinks must be safe and free.
+	if got := cfg.TraceEpochs(epochs, dataSize, SimObserver{}); got != total {
+		t.Fatalf("nil-sink run returned %v, want %v", got, total)
+	}
+}
+
+func TestTraceEpochsSkewSlowsRank(t *testing.T) {
+	cfg := simConfig()
+	healthy := metrics.NewRegistry()
+	slowed := metrics.NewRegistry()
+	cfg.TraceEpochs(2, 4000, SimObserver{Metrics: healthy})
+	// The skew must push the skewed rank's I/O well past the compute
+	// term (the pipeline hides anything smaller) and across a
+	// power-of-two histogram bucket; derive it from the config rather
+	// than guessing.
+	skew := 4 * float64(cfg.ComputeTime()) / float64(cfg.IOTime())
+	cfg.TraceEpochs(2, 4000, SimObserver{Metrics: slowed, Skew: skew})
+	h := healthy.Snapshot().Histograms["trainsim.epoch.latency"].P99
+	s := slowed.Snapshot().Histograms["trainsim.epoch.latency"].P99
+	if s <= h {
+		t.Fatalf("skewed p99 %v not above healthy %v", s, h)
+	}
+}
+
+// chromeEvent mirrors the Chrome trace-event fields the export must emit.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// TestSimulatedClusterChromeExport is the acceptance test for the -trace
+// flag's file format: a 4-rank simulated run (one rank skewed) exports
+// Chrome trace-event JSON that parses, uses complete events with the
+// required fields, is sorted by timestamp, and carries one tid per rank.
+func TestSimulatedClusterChromeExport(t *testing.T) {
+	cfg := simConfig()
+	tracers := make([]*trace.Tracer, 4)
+	for rank := range tracers {
+		tracers[rank] = trace.NewSynthetic(rank, 1<<10)
+		obs := SimObserver{Tracer: tracers[rank]}
+		if rank == 3 {
+			obs.Skew = 4
+		}
+		cfg.TraceEpochs(2, 4000, obs)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tracers...); err != nil {
+		t.Fatal(err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	ranks := map[int]bool{}
+	lastTs := -1.0
+	for i, e := range evs {
+		if e.Ph != "X" {
+			t.Fatalf("event %d: ph=%q, want X", i, e.Ph)
+		}
+		if e.Name == "" || e.Cat == "" {
+			t.Fatalf("event %d missing name/cat: %+v", i, e)
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("event %d: ts %v < previous %v (not sorted)", i, e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		ranks[e.Tid] = true
+	}
+	for rank := 0; rank < 4; rank++ {
+		if !ranks[rank] {
+			t.Fatalf("no events for rank %d (tids: %v)", rank, ranks)
+		}
+	}
+}
