@@ -19,11 +19,11 @@ test:
 
 # The concurrency-heavy packages run under the race detector: the mpi
 # runtime, the rpc worker pool, the store's fetch/cache data path, the
-# prefetch pipeline, the training-loop simulator that drives them, and
-# the observability layer (span tracer + metrics registry) they all
-# write into concurrently.
+# decode worker pool and its buffer pool, the prefetch pipeline, the
+# training-loop simulator that drives them, and the observability layer
+# (span tracer + metrics registry) they all write into concurrently.
 race:
-	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...

@@ -34,6 +34,8 @@ func main() {
 		compressor = flag.String("compressor", "memcpy", "codec configuration or alias")
 		rounds     = flag.Int("rounds", 3, "read passes over the dataset")
 		policy     = flag.String("cache", "fifo", "cache policy: fifo|lru|immediate")
+		shards     = flag.Int("cache-shards", 0, "cache lock shards, rounded up to a power of two (0: auto)")
+		decoders   = flag.Int("decode-workers", 0, "decode pool workers per rank (0: GOMAXPROCS, 1: serial)")
 		model      = flag.Bool("model", false, "print Table III device-model rows instead")
 		hist       = flag.Bool("hist", false, "print rank 0's latency histograms")
 		statsJSON  = flag.Bool("stats-json", false, "emit the final merged registry snapshot as one JSON object on stdout")
@@ -79,7 +81,12 @@ func main() {
 	snaps := make([]metrics.RegistrySnapshot, *ranks)
 	err = mpi.Run(*ranks, func(c *mpi.Comm) error {
 		reg := metrics.NewRegistry()
-		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, fanstore.Options{CachePolicy: pol, Metrics: reg})
+		node, err := fanstore.Mount(c, [][]byte{bundle.Scatter[c.Rank()]}, nil, fanstore.Options{
+			CachePolicy:   pol,
+			CacheShards:   *shards,
+			DecodeWorkers: *decoders,
+			Metrics:       reg,
+		})
 		if err != nil {
 			return err
 		}

@@ -39,6 +39,8 @@ func main() {
 		lookahead  = flag.Int("prefetch", 8, "iterations of look-ahead announced to the store's batched prefetcher (0 disables)")
 		policy     = flag.String("cache-policy", "fifo", "fifo|lru|immediate")
 		cacheMB    = flag.Int("cache-mb", 64, "decompressed cache size per rank (MiB)")
+		shards     = flag.Int("cache-shards", 0, "cache lock shards, rounded up to a power of two (0: auto)")
+		decoders   = flag.Int("decode-workers", 0, "decode pool workers per rank (0: GOMAXPROCS, 1: serial)")
 		spill      = flag.String("spill", "", "local-disk backend directory (empty = RAM)")
 		tcp        = flag.Bool("tcp", false, "carry messages over loopback TCP")
 		resume     = flag.Bool("resume", false, "resume from the latest checkpoint epoch")
@@ -99,10 +101,12 @@ func main() {
 			tracers[c.Rank()] = tr
 		}
 		opts := fanstore.Options{
-			CachePolicy: pol,
-			CacheBytes:  int64(*cacheMB) << 20,
-			Metrics:     reg,
-			Tracer:      tr,
+			CachePolicy:   pol,
+			CacheBytes:    int64(*cacheMB) << 20,
+			CacheShards:   *shards,
+			DecodeWorkers: *decoders,
+			Metrics:       reg,
+			Tracer:        tr,
 		}
 		if *spill != "" {
 			opts.SpillDir = fmt.Sprintf("%s/rank%04d", *spill, c.Rank())

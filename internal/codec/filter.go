@@ -37,6 +37,20 @@ func (f deltaFilter) decompressBlock(dst, src []byte, origLen int) ([]byte, erro
 	return append(dst, tmp...), nil
 }
 
+func (f deltaFilter) decompressBlockScratch(s *Scratch, dst, src []byte, origLen int) ([]byte, error) {
+	tmp, err := innerDecompressScratch(s, f.inner, s.takeTmp(origLen), src, origLen)
+	if err != nil {
+		s.giveTmp(tmp)
+		return dst, err
+	}
+	for i := f.stride; i < len(tmp); i++ {
+		tmp[i] += tmp[i-f.stride]
+	}
+	dst = append(dst, tmp...)
+	s.giveTmp(tmp)
+	return dst, nil
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a
@@ -71,13 +85,31 @@ func (f shuffleFilter) decompressBlock(dst, src []byte, origLen int) ([]byte, er
 	return append(dst, shuffleBytes(tmp, f.stride, true)...), nil
 }
 
+func (f shuffleFilter) decompressBlockScratch(s *Scratch, dst, src []byte, origLen int) ([]byte, error) {
+	tmp, err := innerDecompressScratch(s, f.inner, s.takeTmp(origLen), src, origLen)
+	if err != nil {
+		s.giveTmp(tmp)
+		return dst, err
+	}
+	dst = shuffleBytesTo(dst, tmp, f.stride, true)
+	s.giveTmp(tmp)
+	return dst, nil
+}
+
 // shuffleBytes (un)shuffles the length-aligned prefix; the tail (len %
 // stride bytes) is copied through untouched so any input length round
 // trips.
 func shuffleBytes(src []byte, stride int, inverse bool) []byte {
+	return shuffleBytesTo(make([]byte, 0, len(src)), src, stride, inverse)
+}
+
+// shuffleBytesTo appends the (un)shuffled src to dst, writing straight
+// into dst's storage so the scratch path needs no third buffer.
+func shuffleBytesTo(dst, src []byte, stride int, inverse bool) []byte {
+	base := len(dst)
+	dst = append(dst, src...) // reserves space and copies the unshuffled tail
+	out := dst[base:]
 	n := len(src) / stride * stride
-	out := make([]byte, len(src))
-	copy(out[n:], src[n:])
 	rows := n / stride
 	for i := 0; i < rows; i++ {
 		for b := 0; b < stride; b++ {
@@ -88,5 +120,5 @@ func shuffleBytes(src []byte, stride int, inverse bool) []byte {
 			}
 		}
 	}
-	return out
+	return dst
 }

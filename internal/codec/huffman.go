@@ -258,6 +258,26 @@ func (huffCodec) decompressBlock(dst, src []byte, origLen int) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
+	return huffDecode(dst, payload, origLen, table, maxBits)
+}
+
+func (huffCodec) decompressBlockScratch(s *Scratch, dst, src []byte, origLen int) ([]byte, error) {
+	if origLen == 0 {
+		return dst, nil
+	}
+	payload, err := unpackNibblesInto(s.lens[:256], src)
+	if err != nil {
+		return dst, err
+	}
+	table, maxBits, err := huffDecodeTableInto(s, &s.table, s.lens[:256])
+	if err != nil {
+		return dst, err
+	}
+	return huffDecode(dst, payload, origLen, table, maxBits)
+}
+
+// huffDecode is the shared symbol loop of both decompress paths.
+func huffDecode(dst, payload []byte, origLen int, table []huffEntry, maxBits uint) ([]byte, error) {
 	r := bitReader{src: payload}
 	for i := 0; i < origLen; i++ {
 		e := table[r.peek(maxBits)]

@@ -41,3 +41,21 @@ func (c lzhCodec) decompressBlock(dst, src []byte, origLen int) ([]byte, error) 
 	}
 	return lz4Decompress(dst, lz, origLen)
 }
+
+func (c lzhCodec) decompressBlockScratch(s *Scratch, dst, src []byte, origLen int) ([]byte, error) {
+	lzLen, payload, err := splitHeader(src)
+	if err != nil {
+		return dst, fmt.Errorf("lzh: %w", err)
+	}
+	// The intermediate LZ block lives in the scratch tmp buffer; the
+	// entropy stage shares the same scratch (it uses the Huffman slots,
+	// not tmp).
+	lz, err := huffCodec{}.decompressBlockScratch(s, s.takeTmp(lzLen), payload, lzLen)
+	if err != nil {
+		s.giveTmp(lz)
+		return dst, fmt.Errorf("lzh: %w", err)
+	}
+	dst, err = lz4Decompress(dst, lz, origLen)
+	s.giveTmp(lz)
+	return dst, err
+}

@@ -37,6 +37,14 @@ type lzrModel struct {
 
 func newLzrModel() *lzrModel {
 	m := &lzrModel{}
+	m.reset()
+	return m
+}
+
+// reset restores every probability to equiprobable and clears the
+// parse state, so one model value serves block after block (the decode
+// scratch reuses it instead of allocating the ~5 KiB struct per block).
+func (m *lzrModel) reset() {
 	m.isMatch[0], m.isMatch[1] = probInit, probInit
 	m.isRep = probInit
 	for i := range m.lit {
@@ -54,7 +62,9 @@ func newLzrModel() *lzrModel {
 	for i := range m.distSlot {
 		m.distSlot[i] = probInit
 	}
-	return m
+	m.prevMatch = 0
+	m.prevByte = 0
+	m.repDist = 0
 }
 
 func (c lzrCodec) name() string { return fmt.Sprintf("lzr-%d", c.level) }
@@ -157,7 +167,20 @@ func (c lzrCodec) decompressBlock(dst, src []byte, origLen int) ([]byte, error) 
 	if err != nil {
 		return dst, err
 	}
-	m := newLzrModel()
+	return c.decompressWith(d, newLzrModel(), dst, origLen)
+}
+
+func (c lzrCodec) decompressBlockScratch(s *Scratch, dst, src []byte, origLen int) ([]byte, error) {
+	if err := s.rc.init(src); err != nil {
+		return dst, err
+	}
+	s.model.reset()
+	return c.decompressWith(&s.rc, &s.model, dst, origLen)
+}
+
+// decompressWith is the shared decode loop over an initialized decoder
+// and a fresh (or freshly reset) model.
+func (c lzrCodec) decompressWith(d *rcDecoder, m *lzrModel, dst []byte, origLen int) ([]byte, error) {
 	base := len(dst)
 	want := base + origLen
 	for len(dst) < want {

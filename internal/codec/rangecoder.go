@@ -104,19 +104,28 @@ type rcDecoder struct {
 }
 
 func newRcDecoder(src []byte) (*rcDecoder, error) {
-	if len(src) < 5 {
-		return nil, fmt.Errorf("%w: range coder stream too short", ErrCorrupt)
+	d := &rcDecoder{}
+	if err := d.init(src); err != nil {
+		return nil, err
 	}
-	d := &rcDecoder{src: src, rng: 0xFFFFFFFF}
+	return d, nil
+}
+
+// init (re)starts the decoder on src, so a long-lived decoder value (the
+// decode scratch's) is reused without allocating.
+func (d *rcDecoder) init(src []byte) error {
+	if len(src) < 5 {
+		return fmt.Errorf("%w: range coder stream too short", ErrCorrupt)
+	}
 	// The first encoder output byte is always zero (cache initialization).
 	if src[0] != 0 {
-		return nil, fmt.Errorf("%w: range coder bad leading byte", ErrCorrupt)
+		return fmt.Errorf("%w: range coder bad leading byte", ErrCorrupt)
 	}
-	d.pos = 1
+	*d = rcDecoder{src: src, rng: 0xFFFFFFFF, pos: 1}
 	for i := 0; i < 4; i++ {
 		d.code = d.code<<8 | uint32(d.next())
 	}
-	return d, nil
+	return nil
 }
 
 func (d *rcDecoder) next() byte {

@@ -1,0 +1,56 @@
+package decomp
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed buffer pool for the hot-path byte buffers: decode
+// outputs (cache entries recycle here on eviction via the ownership
+// flag) and RPC frames (request/response framing copies, dead the
+// moment the transport send returns). Classes are powers of two from
+// 512 B to 64 MiB; smaller buffers are cheaper to allocate than to
+// pool, larger ones are rare enough to leave to the GC.
+
+const (
+	minClassBits = 9  // 512 B
+	maxClassBits = 26 // 64 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var bufClasses [numClasses]sync.Pool
+
+// GetBuf returns a zero-length buffer with capacity at least n, drawn
+// from the pool when a buffer of n's size class is available.
+func GetBuf(n int) []byte {
+	if n > 1<<maxClassBits {
+		return make([]byte, 0, n)
+	}
+	c := 0
+	if n > 1<<minClassBits {
+		c = bits.Len(uint(n-1)) - minClassBits
+	}
+	if v := bufClasses[c].Get(); v != nil {
+		return v.([]byte)
+	}
+	return make([]byte, 0, 1<<(c+minClassBits))
+}
+
+// PutBuf recycles a buffer for a later GetBuf. Foreign buffers (not
+// from GetBuf) are binned by their floor size class, so a Get from that
+// class still honours its capacity guarantee; buffers below the
+// smallest class or above the largest are left to the GC. The caller
+// must not touch b afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1 - minClassBits
+	if c < 0 {
+		return
+	}
+	if c >= numClasses {
+		return
+	}
+	bufClasses[c].Put(b[:0]) //nolint:staticcheck // []byte in a sync.Pool costs one small box per Put; acceptable against the buffer sizes pooled here
+}

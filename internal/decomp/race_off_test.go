@@ -1,0 +1,5 @@
+//go:build !race
+
+package decomp
+
+const raceDetectorEnabled = false

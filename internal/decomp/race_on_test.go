@@ -1,0 +1,8 @@
+//go:build race
+
+package decomp
+
+// raceDetectorEnabled reports whether this test binary runs under the
+// race detector, which randomly drops sync.Pool puts — making
+// allocation-count assertions on pooled paths meaningless there.
+const raceDetectorEnabled = true

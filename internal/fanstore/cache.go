@@ -3,8 +3,11 @@ package fanstore
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"fanstore/internal/decomp"
 	"fanstore/internal/metrics"
 	"fanstore/internal/trace"
 )
@@ -48,6 +51,11 @@ type cacheEntry struct {
 	// prefetched marks an entry staged by InsertIdle that has not been
 	// acquired yet; the first Acquire counts it as a prefetched open.
 	prefetched bool
+	// owned marks data as a decomp buffer-pool buffer the cache must
+	// recycle when the entry is removed with no readers left. Buffers
+	// the cache does not own (written files, test fixtures) are never
+	// recycled.
+	owned bool
 }
 
 // CacheStats reports cache behaviour for tests and benchmarks.
@@ -66,17 +74,35 @@ type CacheStats struct {
 	DoubleReleases int64
 }
 
-// Cache is the thread-safe decompressed-data pool of Fig. 4: a hash table
-// tracking open files and their reference counts, with pinned-aware
-// replacement. It deliberately uses a small capacity: the training
-// program itself is memory-hungry (§IV-C3).
-type Cache struct {
+// cacheShard is one stripe of the cache: its own lock, entry table,
+// eviction list, and capacity slice. Entries never move between shards
+// (a path's shard is a pure function of its hash), so every pin/evict
+// invariant holds shard-locally.
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
 	entries  map[string]*cacheEntry
 	order    *list.List // eviction order: front = next victim
-	policy   Policy
+}
+
+// Cache is the thread-safe decompressed-data pool of Fig. 4: a hash table
+// tracking open files and their reference counts, with pinned-aware
+// replacement. It deliberately uses a small capacity: the training
+// program itself is memory-hungry (§IV-C3).
+//
+// The table is striped into power-of-two shards keyed by path hash, so
+// concurrent I/O threads stop serializing on one lock; aggregate
+// used/entries/pinned are maintained incrementally with atomics so
+// Acquire/Release/Stats never scan.
+type Cache struct {
+	shards []cacheShard
+	mask   uint32
+	policy Policy
+
+	used    atomic.Int64
+	entries atomic.Int64
+	pins    atomic.Int64 // entries with refs > 0
 
 	// Counters are registry-backed ("fanstore.cache.*") once instrument
 	// is called; until then they are private unregistered instruments,
@@ -86,15 +112,56 @@ type Cache struct {
 	tracer                         *trace.Tracer
 }
 
-// NewCache builds a cache bounded to capacity bytes of decompressed data.
-// Pinned entries may transiently exceed the bound (they cannot be
-// evicted); the excess drains as files close.
+// minShardBytes is the smallest capacity slice worth striping: below it
+// a single entry could overflow its shard and thrash, so shard count is
+// reduced until every slice clears this floor (a tiny benchmark cache
+// gets exactly one shard — the old single-lock semantics).
+const minShardBytes = 4 << 20
+
+// NewCache builds a cache bounded to capacity bytes of decompressed data
+// with an automatic shard count (sized to GOMAXPROCS, reduced for small
+// capacities). Pinned entries may transiently exceed the bound (they
+// cannot be evicted); the excess drains as files close.
 func NewCache(capacity int64, policy Policy) *Cache {
+	return NewCacheShards(capacity, policy, 0)
+}
+
+// NewCacheShards is NewCache with an explicit shard count, rounded up to
+// a power of two (<=0 selects automatically). Capacity is striped across
+// the shards; each shard enforces its slice independently, so with
+// uneven path distribution eviction can begin slightly before the
+// aggregate bound is reached — never after.
+func NewCacheShards(capacity int64, policy Policy, shards int) *Cache {
+	if shards <= 0 {
+		shards = 1
+		for shards < runtime.GOMAXPROCS(0) && shards < 64 {
+			shards <<= 1
+		}
+		for shards > 1 && capacity/int64(shards) < minShardBytes {
+			shards >>= 1
+		}
+	} else {
+		n := 1
+		for n < shards && n < 1<<16 {
+			n <<= 1
+		}
+		shards = n
+	}
 	c := &Cache{
-		capacity: capacity,
-		entries:  make(map[string]*cacheEntry),
-		order:    list.New(),
-		policy:   policy,
+		shards: make([]cacheShard, shards),
+		mask:   uint32(shards - 1),
+		policy: policy,
+	}
+	per := capacity / int64(shards)
+	rem := capacity % int64(shards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = per
+		if int64(i) < rem {
+			sh.capacity++
+		}
+		sh.entries = make(map[string]*cacheEntry)
+		sh.order = list.New()
 	}
 	c.instrument(nil, nil)
 	return c
@@ -112,34 +179,55 @@ func (c *Cache) instrument(reg *metrics.Registry, tr *trace.Tracer) {
 	c.tracer = tr
 }
 
+// NumShards reports the shard count (test and benchmark hook).
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// shard maps a path to its stripe with an inline FNV-1a hash (the
+// allocation-free path of the cache-hit gate).
+func (c *Cache) shard(path string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * 16777619
+	}
+	return &c.shards[h&c.mask]
+}
+
 // Acquire pins and returns the cached decompressed data for path. The
 // caller must Release it once per successful Acquire.
 func (c *Cache) Acquire(path string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[path]
+	sh := c.shard(path)
+	sh.mu.Lock()
+	e, ok := sh.entries[path]
 	if !ok {
+		sh.mu.Unlock()
 		c.misses.Inc()
 		return nil, false
 	}
-	c.hits.Inc()
+	if e.refs == 0 {
+		c.pins.Add(1)
+	}
 	e.refs++
-	if e.prefetched {
-		e.prefetched = false
+	wasPrefetched := e.prefetched
+	e.prefetched = false
+	if c.policy == LRU {
+		sh.order.MoveToBack(e.elem)
+	}
+	data := e.data
+	sh.mu.Unlock()
+	c.hits.Inc()
+	if wasPrefetched {
 		c.prefetchedHits.Inc()
 	}
-	if c.policy == LRU {
-		c.order.MoveToBack(e.elem)
-	}
-	return e.data, true
+	return data, true
 }
 
 // Contains reports whether path is cached, without pinning it or
 // counting a hit/miss (the prefetcher uses it to skip staged work).
 func (c *Cache) Contains(path string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[path]
+	sh := c.shard(path)
+	sh.mu.Lock()
+	_, ok := sh.entries[path]
+	sh.mu.Unlock()
 	return ok
 }
 
@@ -147,19 +235,49 @@ func (c *Cache) Contains(path string) bool {
 // the canonical buffer (an existing entry wins races between two openers
 // decompressing the same file). The caller must Release it.
 func (c *Cache) Insert(path string, data []byte) []byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[path]; ok {
-		// Another I/O thread decompressed this file first; share it.
+	return c.insert(path, data, false)
+}
+
+// InsertOwned is Insert for a buffer drawn from the decomp buffer pool:
+// ownership transfers to the cache, which recycles it when the entry is
+// removed with no readers, or immediately when an existing entry wins.
+func (c *Cache) InsertOwned(path string, data []byte) []byte {
+	return c.insert(path, data, true)
+}
+
+func (c *Cache) insert(path string, data []byte, owned bool) []byte {
+	sh := c.shard(path)
+	sh.mu.Lock()
+	if e, ok := sh.entries[path]; ok {
+		// Another I/O thread decompressed (or the prefetcher staged)
+		// this file first; share its entry. A staged entry acquired
+		// here counts as a prefetched open, same as via Acquire.
+		if e.refs == 0 {
+			c.pins.Add(1)
+		}
 		e.refs++
+		wasPrefetched := e.prefetched
+		e.prefetched = false
+		canonical := e.data
+		sh.mu.Unlock()
 		c.hits.Inc()
-		return e.data
+		if wasPrefetched {
+			c.prefetchedHits.Inc()
+		}
+		if owned {
+			decomp.PutBuf(data) // the losing duplicate is dead
+		}
+		return canonical
 	}
-	e := &cacheEntry{path: path, data: data, refs: 1}
-	e.elem = c.order.PushBack(e)
-	c.entries[path] = e
-	c.used += int64(len(data))
-	c.evictLocked()
+	e := &cacheEntry{path: path, data: data, refs: 1, owned: owned}
+	e.elem = sh.order.PushBack(e)
+	sh.entries[path] = e
+	sh.used += int64(len(data))
+	c.used.Add(int64(len(data)))
+	c.entries.Add(1)
+	c.pins.Add(1)
+	c.evictLocked(sh)
+	sh.mu.Unlock()
 	return data
 }
 
@@ -170,26 +288,44 @@ func (c *Cache) Insert(path string, data []byte) []byte {
 // existing entry wins (nothing is replaced); reports whether the data
 // was staged.
 func (c *Cache) InsertIdle(path string, data []byte) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[path]; ok {
+	return c.insertIdle(path, data, false)
+}
+
+// InsertIdleOwned is InsertIdle for a decomp buffer-pool buffer; when an
+// existing entry wins, the duplicate is recycled immediately.
+func (c *Cache) InsertIdleOwned(path string, data []byte) bool {
+	return c.insertIdle(path, data, true)
+}
+
+func (c *Cache) insertIdle(path string, data []byte, owned bool) bool {
+	sh := c.shard(path)
+	sh.mu.Lock()
+	if _, ok := sh.entries[path]; ok {
+		sh.mu.Unlock()
+		if owned {
+			decomp.PutBuf(data)
+		}
 		return false
 	}
-	e := &cacheEntry{path: path, data: data, prefetched: true}
-	e.elem = c.order.PushBack(e)
-	c.entries[path] = e
-	c.used += int64(len(data))
-	c.evictLocked()
+	e := &cacheEntry{path: path, data: data, prefetched: true, owned: owned}
+	e.elem = sh.order.PushBack(e)
+	sh.entries[path] = e
+	sh.used += int64(len(data))
+	c.used.Add(int64(len(data)))
+	c.entries.Add(1)
+	c.evictLocked(sh)
+	sh.mu.Unlock()
 	return true
 }
 
 // Release unpins one reference. With the Immediate policy the entry is
 // dropped at refs==0; otherwise it stays until capacity pressure.
 func (c *Cache) Release(path string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[path]
+	sh := c.shard(path)
+	sh.mu.Lock()
+	e, ok := sh.entries[path]
 	if !ok || e.refs == 0 {
+		sh.mu.Unlock()
 		// Double release is a caller bug; tolerate it rather than
 		// corrupting the pool shared by all I/O threads, but count it
 		// so the bug is visible in CacheStats.
@@ -197,23 +333,27 @@ func (c *Cache) Release(path string) {
 		return
 	}
 	e.refs--
-	if e.refs == 0 && c.policy == Immediate {
-		c.removeLocked(e)
+	if e.refs == 0 {
+		c.pins.Add(-1)
+		if c.policy == Immediate {
+			c.removeLocked(sh, e)
+		}
 	}
-	if c.used > c.capacity {
-		c.evictLocked()
+	if sh.used > sh.capacity {
+		c.evictLocked(sh)
 	}
+	sh.mu.Unlock()
 }
 
-// evictLocked removes unpinned entries in policy order until within
-// capacity.
-func (c *Cache) evictLocked() {
-	el := c.order.Front()
-	for c.used > c.capacity && el != nil {
+// evictLocked removes unpinned entries in policy order until the shard
+// is within its capacity slice.
+func (c *Cache) evictLocked(sh *cacheShard) {
+	el := sh.order.Front()
+	for sh.used > sh.capacity && el != nil {
 		next := el.Next()
 		e := el.Value.(*cacheEntry)
 		if e.refs == 0 { // never evict a file an open FD is reading
-			c.removeLocked(e)
+			c.removeLocked(sh, e)
 			c.evictions.Inc()
 			c.tracer.Event(trace.OpEvict, e.path, trace.OutcomeNone)
 		}
@@ -221,29 +361,32 @@ func (c *Cache) evictLocked() {
 	}
 }
 
-func (c *Cache) removeLocked(e *cacheEntry) {
-	c.order.Remove(e.elem)
-	delete(c.entries, e.path)
-	c.used -= int64(len(e.data))
+// removeLocked unlinks an entry and recycles its buffer if the cache
+// owns it. Callers guarantee refs == 0: a pinned entry's buffer is
+// still visible to a reader and must never reach the pool.
+func (c *Cache) removeLocked(sh *cacheShard, e *cacheEntry) {
+	sh.order.Remove(e.elem)
+	delete(sh.entries, e.path)
+	sh.used -= int64(len(e.data))
+	c.used.Add(-int64(len(e.data)))
+	c.entries.Add(-1)
+	if e.owned {
+		decomp.PutBuf(e.data)
+		e.data = nil
+	}
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters. Aggregates are read from the
+// incrementally maintained atomics — no shard lock, no entry scan — so
+// a stats poll never stalls the data path.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	pinned := 0
-	for _, e := range c.entries {
-		if e.refs > 0 {
-			pinned++
-		}
-	}
 	return CacheStats{
 		Hits:           c.hits.Value(),
 		Misses:         c.misses.Value(),
 		Evictions:      c.evictions.Value(),
-		Used:           c.used,
-		Entries:        len(c.entries),
-		Pinned:         pinned,
+		Used:           c.used.Load(),
+		Entries:        int(c.entries.Load()),
+		Pinned:         int(c.pins.Load()),
 		DoubleReleases: c.doubleReleases.Value(),
 	}
 }
@@ -256,13 +399,5 @@ func (c *Cache) prefetchedOpens() int64 {
 
 // pinned reports the number of entries with live references (test hook).
 func (c *Cache) pinned() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, e := range c.entries {
-		if e.refs > 0 {
-			n++
-		}
-	}
-	return n
+	return int(c.pins.Load())
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fanstore
+
+const raceDetectorEnabled = false

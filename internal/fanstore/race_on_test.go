@@ -1,0 +1,8 @@
+//go:build race
+
+package fanstore
+
+// raceDetectorEnabled reports whether this test binary runs under the
+// race detector, which randomly drops sync.Pool puts — making
+// pool-determinism and allocation-count assertions meaningless there.
+const raceDetectorEnabled = true

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"fanstore/internal/codec"
+	"fanstore/internal/decomp"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
 	"fanstore/internal/pack"
@@ -89,6 +90,15 @@ type Options struct {
 	CacheBytes int64
 	// CachePolicy selects the replacement policy (default FIFO).
 	CachePolicy Policy
+	// CacheShards overrides the decompressed cache's stripe count,
+	// rounded up to a power of two (0: automatic — sized to GOMAXPROCS,
+	// reduced for small capacities). 1 reproduces the old single-lock
+	// cache for comparison benchmarks.
+	CacheShards int
+	// DecodeWorkers bounds the shared decode pool that demand opens and
+	// the look-ahead prefetcher decompress through (default GOMAXPROCS).
+	// 1 reproduces serial decode for comparison benchmarks.
+	DecodeWorkers int
 	// Replicas are extra partition blobs this node serves locally
 	// without owning them (typically obtained via RingReplicate when the
 	// node has spare local storage, §V-D). Their paths are announced to
@@ -211,6 +221,7 @@ type Node struct {
 	comm    *mpi.Comm
 	cache   *Cache
 	backend Backend
+	decode  *decomp.Pool // shared decode workers (opens > prefetch)
 
 	mu   sync.RWMutex
 	meta map[string]*FileMeta
@@ -311,8 +322,9 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 	}
 	n := &Node{
 		comm:     comm,
-		cache:    NewCache(opts.CacheBytes, opts.CachePolicy),
+		cache:    NewCacheShards(opts.CacheBytes, opts.CachePolicy, opts.CacheShards),
 		backend:  backend,
+		decode:   decomp.New(opts.DecodeWorkers, reg),
 		meta:     make(map[string]*FileMeta),
 		dirs:     newDirIndex(),
 		writes:   make(map[string][]byte),
@@ -486,14 +498,16 @@ func (n *Node) fetchObject(path string) ([]byte, error) {
 	wdata, written := n.writes[path]
 	n.mu.RUnlock()
 	if written && wdata != nil {
-		// Output files are stored uncompressed; frame them as "store".
-		comp, err := codec.MustGet("store").Codec.Compress(nil, wdata)
+		// Output files are stored uncompressed; frame them as "store",
+		// compressing straight into a pooled response frame.
+		resp := decomp.GetBuf(2 + len(wdata) + binary.MaxVarintLen64)[:2]
+		binary.LittleEndian.PutUint16(resp, codec.StoreID)
+		resp, err := codec.MustGet("store").Codec.Compress(resp, wdata)
 		if err != nil {
+			decomp.PutBuf(resp)
 			return nil, err
 		}
-		resp := make([]byte, 2, 2+len(comp))
-		binary.LittleEndian.PutUint16(resp, codec.StoreID)
-		return append(resp, comp...), nil
+		return resp, nil
 	}
 	id, data, err := n.backend.Get(path)
 	if err != nil {
@@ -502,7 +516,7 @@ func (n *Node) fetchObject(path string) ([]byte, error) {
 		}
 		return nil, err
 	}
-	resp := make([]byte, 2, 2+len(data))
+	resp := decomp.GetBuf(2 + len(data))[:2]
 	binary.LittleEndian.PutUint16(resp, id)
 	return append(resp, data...), nil
 }
@@ -537,7 +551,16 @@ func (n *Node) handleFetchMany(body []byte) ([]byte, error) {
 		}(i, path)
 	}
 	wg.Wait()
-	return rpc.EncodeItems(items), nil
+	out := rpc.EncodeItems(items)
+	// EncodeItems copied every payload into the response frame; the
+	// per-item fetchObject frames are dead — recycle them.
+	for i := range items {
+		if items[i].Status == rpc.ItemOK {
+			decomp.PutBuf(items[i].Payload)
+			items[i].Payload = nil
+		}
+	}
+	return out, nil
 }
 
 // fetchCandidates lists the ranks that can serve m's compressed object,
@@ -715,42 +738,75 @@ func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, faile
 	if err != nil || len(items) != len(group) {
 		return 0, group
 	}
-	for i, it := range items {
-		t := group[i]
+	// Fan the batch out across the decode pool at prefetch priority: the
+	// whole window decompresses in parallel while demand opens still
+	// preempt it (they submit at PriOpen and are drained first).
+	decoded := make([][]byte, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		it := &items[i]
 		if it.Status != rpc.ItemOK || len(it.Payload) < 2 {
-			failed = append(failed, t)
 			continue
 		}
 		n.remoteBytes.Add(int64(len(it.Payload)))
-		data, err := n.decompress(t.m, binary.LittleEndian.Uint16(it.Payload), it.Payload[2:])
-		if err != nil {
+		i, t := i, group[i]
+		wg.Add(1)
+		n.decode.Submit(decomp.PriPrefetch, &wg, func(s *codec.Scratch) {
+			data, err := n.decodeObject(s, t.m, binary.LittleEndian.Uint16(it.Payload), it.Payload[2:])
+			if err == nil {
+				decoded[i] = data
+			}
+		})
+	}
+	wg.Wait()
+	for i, it := range items {
+		t := group[i]
+		if it.Status != rpc.ItemOK || len(it.Payload) < 2 || decoded[i] == nil {
 			failed = append(failed, t)
 			continue
 		}
-		if n.cache.InsertIdle(t.m.Path, data) {
+		if n.cache.InsertIdleOwned(t.m.Path, decoded[i]) {
 			staged++
 		}
 	}
 	return staged, failed
 }
 
-// decompress turns a compressed object into file bytes, validating size
-// and checksum against the metadata record.
-func (n *Node) decompress(m *FileMeta, compressorID uint16, comp []byte) ([]byte, error) {
+// decompress turns a compressed object into file bytes on the shared
+// decode pool at the given priority, validating size against the
+// metadata record. The returned buffer comes from the decomp buffer
+// pool: ownership passes to the caller, who must hand it to the cache
+// via InsertOwned/InsertIdleOwned (or recycle it on failure).
+func (n *Node) decompress(m *FileMeta, compressorID uint16, comp []byte, pri decomp.Priority) ([]byte, error) {
+	var out []byte
+	var err error
+	n.decode.Run(pri, func(s *codec.Scratch) {
+		out, err = n.decodeObject(s, m, compressorID, comp)
+	})
+	return out, err
+}
+
+// decodeObject is the codec work of one decode job, running on a pool
+// worker with its per-worker scratch (or inline with a nil scratch when
+// the pool is closed). The latency histogram brackets codec time only —
+// queue wait has its own instrument ("decomp.queue.wait.latency").
+func (n *Node) decodeObject(s *codec.Scratch, m *FileMeta, compressorID uint16, comp []byte) ([]byte, error) {
 	cfg, ok := codec.ByID(compressorID)
 	if !ok {
 		return nil, fmt.Errorf("fanstore: %s: unknown compressor %d", m.Path, compressorID)
 	}
 	start := time.Now()
 	tstart := n.tracer.Begin()
-	out, err := cfg.Codec.Decompress(make([]byte, 0, m.Size), comp)
+	out, err := codec.DecompressScratch(cfg.Codec, s, decomp.GetBuf(int(m.Size)), comp)
 	n.decompressHist.Observe(time.Since(start))
 	if err != nil {
+		decomp.PutBuf(out)
 		n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeError, tstart)
 		return nil, fmt.Errorf("fanstore: %s: %w", m.Path, err)
 	}
 	n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeNone, tstart)
 	if int64(len(out)) != m.Size {
+		decomp.PutBuf(out)
 		return nil, fmt.Errorf("fanstore: %s: decompressed %d bytes, metadata says %d", m.Path, len(out), m.Size)
 	}
 	n.decompresses.Inc()
@@ -835,22 +891,22 @@ func (n *Node) produceBytes(m *FileMeta) (data []byte, pinned bool, outcome trac
 		if err != nil {
 			return nil, false, trace.OutcomeError, err
 		}
-		data, err := n.decompress(m, id, comp)
+		data, err := n.decompress(m, id, comp, decomp.PriOpen)
 		if err != nil {
 			return nil, false, trace.OutcomeError, err
 		}
-		return n.cache.Insert(m.Path, data), true, outcome, nil
+		return n.cache.InsertOwned(m.Path, data), true, outcome, nil
 	default:
 		n.remoteOpens.Inc()
 		id, comp, outcome, err := n.fetchRemote(m)
 		if err != nil {
 			return nil, false, outcome, err
 		}
-		data, err := n.decompress(m, id, comp)
+		data, err := n.decompress(m, id, comp, decomp.PriOpen)
 		if err != nil {
 			return nil, false, trace.OutcomeError, err
 		}
-		return n.cache.Insert(m.Path, data), true, outcome, nil
+		return n.cache.InsertOwned(m.Path, data), true, outcome, nil
 	}
 }
 
@@ -870,6 +926,9 @@ func (n *Node) Close() error {
 	n.server.Stop()
 	_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
 	n.daemon.Wait()
+	// With the daemons down no new decode work arrives; the pool drains
+	// whatever is queued (stragglers run inline on their submitters).
+	n.decode.Close()
 	return n.backend.Close()
 }
 

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fanstore/internal/decomp"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
 )
@@ -53,6 +54,13 @@ var (
 // Handler services one request and returns the response payload.
 // Returning an error wrapping ErrNotFound maps to a not-found status;
 // any other error maps to a remote-error status carrying the text.
+//
+// Buffer ownership: req is only valid for the duration of the call —
+// the server recycles the request frame into the shared buffer pool
+// once the reply is sent. A successfully returned payload transfers to
+// the server, which recycles it after copying it into the response
+// frame; it therefore must not alias req or be retained or reused by
+// the handler.
 type Handler func(src int, req []byte) ([]byte, error)
 
 // ServerOptions configures a Server.
@@ -83,11 +91,13 @@ type ServerStats struct {
 	MaxInService int32 // high-water mark of InService
 }
 
-// request is one dequeued unit of work.
+// request is one dequeued unit of work. raw is the whole received
+// frame (payload aliases it); the worker recycles it after the reply.
 type request struct {
 	src     int
 	respTag int
 	payload []byte
+	raw     []byte
 }
 
 // Server answers requests on one tag of a communicator through a bounded
@@ -167,7 +177,7 @@ func (s *Server) Serve() {
 		}
 		respTag := int(binary.LittleEndian.Uint32(data))
 		s.queueDepth.Inc()
-		s.queue <- request{src: src, respTag: respTag, payload: data[4:]}
+		s.queue <- request{src: src, respTag: respTag, payload: data[4:], raw: data}
 	}
 }
 
@@ -179,6 +189,7 @@ func (s *Server) worker() {
 		s.inService.Inc()
 		start := time.Now()
 		s.answer(req)
+		decomp.PutBuf(req.raw)
 		s.serviceHist.Observe(time.Since(start))
 		s.inService.Dec()
 	}
@@ -190,9 +201,12 @@ func (s *Server) answer(req request) {
 	var resp []byte
 	switch {
 	case err == nil:
-		resp = make([]byte, 1, 1+len(payload))
-		resp[0] = statusOK
+		resp = decomp.GetBuf(1 + len(payload))
+		resp = append(resp, statusOK)
 		resp = append(resp, payload...)
+		// The handler contract transfers payload ownership here; it was
+		// copied into resp above and must not alias req.raw.
+		decomp.PutBuf(payload)
 		s.served.Inc()
 	case errors.Is(err, ErrNotFound):
 		resp = []byte{statusNotFound}
@@ -204,7 +218,10 @@ func (s *Server) answer(req request) {
 		resp = append(resp, msg...)
 		s.errors.Inc()
 	}
+	// Both transports copy the frame before Send returns, so the
+	// response buffer can recycle immediately.
 	_ = s.comm.Send(req.src, req.respTag, resp)
+	decomp.PutBuf(resp)
 }
 
 // Stop unblocks Serve with a self-addressed shutdown pill and waits for
@@ -324,10 +341,12 @@ func (c *Client) attempt(dst int, req []byte) ([]byte, error) {
 	start := time.Now()
 	defer metrics.ObserveSince(c.attemptHist, start)
 	respTag := c.respBase + int(c.seq.Add(1))
-	frame := make([]byte, 4, 4+len(req))
+	frame := decomp.GetBuf(4 + len(req))[:4]
 	binary.LittleEndian.PutUint32(frame, uint32(respTag))
 	frame = append(frame, req...)
-	if err := c.comm.Send(dst, c.tag, frame); err != nil {
+	err := c.comm.Send(dst, c.tag, frame)
+	decomp.PutBuf(frame) // Send copies; the frame is dead once it returns
+	if err != nil {
 		return nil, fmt.Errorf("rpc: send to rank %d: %w", dst, err)
 	}
 	resp, _, err := c.comm.RecvDeadline(dst, respTag, c.opts.Timeout)

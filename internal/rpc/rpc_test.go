@@ -70,7 +70,7 @@ func TestNotFoundAndRemoteError(t *testing.T) {
 				case "boom":
 					return nil, errors.New("handler exploded")
 				}
-				return req, nil
+				return append([]byte(nil), req...), nil
 			}, ServerOptions{})
 			if err := c.Barrier(); err != nil {
 				return err
@@ -107,7 +107,7 @@ func TestCallDeadline(t *testing.T) {
 				if string(req) == "slow" {
 					<-release
 				}
-				return req, nil
+				return append([]byte(nil), req...), nil
 			}, ServerOptions{Workers: 2})
 			if err := c.Barrier(); err != nil {
 				return err
@@ -149,7 +149,7 @@ func TestRetryBackoff(t *testing.T) {
 				if fails.Add(1) <= 2 {
 					return nil, errors.New("transient")
 				}
-				return req, nil
+				return append([]byte(nil), req...), nil
 			}, ServerOptions{})
 			if err := c.Barrier(); err != nil {
 				return err
@@ -184,7 +184,7 @@ func TestWorkerPoolStress(t *testing.T) {
 		if c.Rank() == 0 {
 			s := serveOn(c, func(_ int, req []byte) ([]byte, error) {
 				time.Sleep(time.Millisecond) // give requests time to pile up
-				return req, nil
+				return append([]byte(nil), req...), nil
 			}, ServerOptions{Workers: goroutines})
 			if err := c.Barrier(); err != nil {
 				return err
@@ -240,7 +240,7 @@ func TestServerStopOnAbortedWorld(t *testing.T) {
 	var s *Server
 	err := mpi.Run(2, func(c *mpi.Comm) error {
 		if c.Rank() == 1 {
-			s = serveOn(c, func(_ int, req []byte) ([]byte, error) { return req, nil }, ServerOptions{})
+			s = serveOn(c, func(_ int, req []byte) ([]byte, error) { return append([]byte(nil), req...), nil }, ServerOptions{})
 			return boom // aborts the world with the server running
 		}
 		return nil
