@@ -1,9 +1,12 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 GO ?= go
 
-.PHONY: ci fmt vet test race bench benchsmoke
+.PHONY: ci fmt vet test race bench benchsmoke bench-json
 
+# bench-json is non-gating (leading -): a benchmark wobble must not
+# fail the tier-1 gate, but the JSON trajectory still refreshes.
 ci: fmt vet race test benchsmoke
+	-$(MAKE) bench-json
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -32,3 +35,8 @@ bench:
 # silently stop compiling (or start panicking) in bench-only code.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+
+# The benchsmoke sweep with allocation counts, rendered to a JSON
+# trajectory file (ns/op + allocs/op per benchmark) via cmd/benchjson.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_PR5.json

@@ -63,6 +63,9 @@ func main() {
 		simEpoch = flag.Int("sim-epochs", 3, "epochs in the -trace/-report epoch replay")
 		simFiles = flag.Int("sim-files", 4096, "dataset size (files) in the -trace/-report epoch replay")
 		skew     = flag.Float64("skew", 0, "I/O slowdown factor injected into the last simulated rank (0: none)")
+		plan     = flag.Bool("plan", false, "replay epochs with the clairvoyant epoch-plan prefetcher (one batched cold fill) instead of the reactive window")
+		window   = flag.Int("window", 4, "reactive look-ahead window priced by the replay's per-epoch cold fill (without -plan)")
+		admitMB  = flag.Int("admission", 0, "staged-bytes admission budget reported by the -plan replay, MiB (0: unbounded)")
 	)
 	flag.Parse()
 
@@ -206,7 +209,12 @@ func main() {
 		if *skew > 0 && rank == n-1 {
 			obs.Skew = *skew
 		}
-		if t := cfg.TraceEpochs(*simEpoch, *simFiles, obs); t > elapsed {
+		rc := trainsim.ReplayConfig{Mode: trainsim.PrefetchWindow, Window: *window}
+		if *plan {
+			rc.Mode = trainsim.PrefetchPlanned
+			rc.AdmissionBytes = int64(*admitMB) << 20
+		}
+		if t := cfg.TraceEpochsReplay(*simEpoch, *simFiles, rc, obs); t > elapsed {
 			elapsed = t
 		}
 		snaps[rank] = reg.Snapshot()

@@ -37,6 +37,8 @@ func main() {
 		compressor = flag.String("compressor", "lzsse8", "codec configuration or alias")
 		workers    = flag.Int("io-threads", 4, "prefetch I/O threads per rank")
 		lookahead  = flag.Int("prefetch", 8, "iterations of look-ahead announced to the store's batched prefetcher (0 disables)")
+		plan       = flag.Bool("plan", false, "build a whole-epoch prefetch plan at epoch start and stage it under admission control (replaces the reactive -prefetch window)")
+		admission  = flag.Int("admission", 0, "staged-bytes admission budget for -plan, MiB (0: live cache headroom)")
 		policy     = flag.String("cache-policy", "fifo", "fifo|lru|immediate")
 		cacheMB    = flag.Int("cache-mb", 64, "decompressed cache size per rank (MiB)")
 		shards     = flag.Int("cache-shards", 0, "cache lock shards, rounded up to a power of two (0: auto)")
@@ -142,16 +144,26 @@ func main() {
 				shuffled[i] = paths[idx]
 			}
 			popts := prefetch.Options{Workers: *workers, Depth: 2, Metrics: reg, Tracer: tr}
-			if *lookahead > 0 {
+			sampler := prefetch.RangeSampler(shuffled, *batch, c.Rank(), *ranks)
+			switch {
+			case *plan:
+				// Clairvoyant mode: the permutation is fully known now, so
+				// materialize the epoch's remote access sequence and stream
+				// it under cache-pressure admission control.
+				epochPlan := prefetch.BuildPlan(sampler, node)
+				popts.Scheduler = prefetch.NewScheduler(node, epochPlan, prefetch.SchedOptions{
+					AdmissionBytes: int64(*admission) << 20,
+					Metrics:        reg,
+					Tracer:         tr,
+				})
+			case *lookahead > 0:
 				// Announce the sampler's upcoming window to the node so
 				// remote objects arrive in batched FetchMany round trips
 				// and land in the cache before the I/O threads open them.
 				popts.Prefetcher = node
 				popts.Lookahead = *lookahead
 			}
-			pipe := prefetch.New(node,
-				prefetch.RangeSampler(shuffled, *batch, c.Rank(), *ranks),
-				popts)
+			pipe := prefetch.New(node, sampler, popts)
 			for it := 0; it < itersPerEpoch; it++ {
 				b, ok, err := pipe.Next()
 				if err != nil {

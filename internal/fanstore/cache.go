@@ -68,6 +68,12 @@ type CacheStats struct {
 	// Pinned is the number of entries with live references. Outside an
 	// open file's lifetime it must be 0 — growth here means a pin leak.
 	Pinned int
+	// PinnedBytes is the byte total of pinned entries — capacity the
+	// replacement policy cannot reclaim until readers close.
+	PinnedBytes int64
+	// StagedBytes is the byte total of prefetched entries nobody has
+	// acquired yet — the epoch planner's admission control bounds it.
+	StagedBytes int64
 	// DoubleReleases counts Release calls with no pin to release — a
 	// caller bug (the pool tolerates it rather than corrupting shared
 	// state, but surfaces it here so unpin bugs stop being masked).
@@ -96,13 +102,16 @@ type cacheShard struct {
 // used/entries/pinned are maintained incrementally with atomics so
 // Acquire/Release/Stats never scan.
 type Cache struct {
-	shards []cacheShard
-	mask   uint32
-	policy Policy
+	shards   []cacheShard
+	mask     uint32
+	policy   Policy
+	capacity int64 // aggregate byte bound across all shards
 
 	used    atomic.Int64
 	entries atomic.Int64
 	pins    atomic.Int64 // entries with refs > 0
+	pinnedB atomic.Int64 // bytes held by entries with refs > 0
+	staged  atomic.Int64 // bytes staged by InsertIdle, not yet acquired
 
 	// Counters are registry-backed ("fanstore.cache.*") once instrument
 	// is called; until then they are private unregistered instruments,
@@ -148,9 +157,10 @@ func NewCacheShards(capacity int64, policy Policy, shards int) *Cache {
 		shards = n
 	}
 	c := &Cache{
-		shards: make([]cacheShard, shards),
-		mask:   uint32(shards - 1),
-		policy: policy,
+		shards:   make([]cacheShard, shards),
+		mask:     uint32(shards - 1),
+		policy:   policy,
+		capacity: capacity,
 	}
 	per := capacity / int64(shards)
 	rem := capacity % int64(shards)
@@ -205,10 +215,14 @@ func (c *Cache) Acquire(path string) ([]byte, bool) {
 	}
 	if e.refs == 0 {
 		c.pins.Add(1)
+		c.pinnedB.Add(int64(len(e.data)))
 	}
 	e.refs++
 	wasPrefetched := e.prefetched
 	e.prefetched = false
+	if wasPrefetched {
+		c.staged.Add(-int64(len(e.data)))
+	}
 	if c.policy == LRU {
 		sh.order.MoveToBack(e.elem)
 	}
@@ -254,10 +268,14 @@ func (c *Cache) insert(path string, data []byte, owned bool) []byte {
 		// here counts as a prefetched open, same as via Acquire.
 		if e.refs == 0 {
 			c.pins.Add(1)
+			c.pinnedB.Add(int64(len(e.data)))
 		}
 		e.refs++
 		wasPrefetched := e.prefetched
 		e.prefetched = false
+		if wasPrefetched {
+			c.staged.Add(-int64(len(e.data)))
+		}
 		canonical := e.data
 		sh.mu.Unlock()
 		c.hits.Inc()
@@ -276,6 +294,7 @@ func (c *Cache) insert(path string, data []byte, owned bool) []byte {
 	c.used.Add(int64(len(data)))
 	c.entries.Add(1)
 	c.pins.Add(1)
+	c.pinnedB.Add(int64(len(data)))
 	c.evictLocked(sh)
 	sh.mu.Unlock()
 	return data
@@ -313,6 +332,7 @@ func (c *Cache) insertIdle(path string, data []byte, owned bool) bool {
 	sh.used += int64(len(data))
 	c.used.Add(int64(len(data)))
 	c.entries.Add(1)
+	c.staged.Add(int64(len(data)))
 	c.evictLocked(sh)
 	sh.mu.Unlock()
 	return true
@@ -335,6 +355,7 @@ func (c *Cache) Release(path string) {
 	e.refs--
 	if e.refs == 0 {
 		c.pins.Add(-1)
+		c.pinnedB.Add(-int64(len(e.data)))
 		if c.policy == Immediate {
 			c.removeLocked(sh, e)
 		}
@@ -370,6 +391,11 @@ func (c *Cache) removeLocked(sh *cacheShard, e *cacheEntry) {
 	sh.used -= int64(len(e.data))
 	c.used.Add(-int64(len(e.data)))
 	c.entries.Add(-1)
+	if e.prefetched {
+		// A staged entry evicted unread: its admission credit returns
+		// (the planner may restage it; the consumer will fetch on demand).
+		c.staged.Add(-int64(len(e.data)))
+	}
 	if e.owned {
 		decomp.PutBuf(e.data)
 		e.data = nil
@@ -387,8 +413,36 @@ func (c *Cache) Stats() CacheStats {
 		Used:           c.used.Load(),
 		Entries:        int(c.entries.Load()),
 		Pinned:         int(c.pins.Load()),
+		PinnedBytes:    c.pinnedB.Load(),
+		StagedBytes:    c.staged.Load(),
 		DoubleReleases: c.doubleReleases.Value(),
 	}
+}
+
+// Capacity reports the aggregate byte bound across all shards.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// PinnedBytes reports the byte total of entries with live references.
+func (c *Cache) PinnedBytes() int64 { return c.pinnedB.Load() }
+
+// StagedBytes reports the byte total of prefetched entries that have not
+// been acquired yet — staged-but-unread data awaiting its first open.
+func (c *Cache) StagedBytes() int64 {
+	return c.staged.Load()
+}
+
+// Headroom reports the capacity the replacement policy could free for
+// new staged data: everything not held by a live reader. The epoch
+// planner's admission control never stages beyond it — staging more
+// would evict staged-but-unread entries and turn the plan against
+// itself. Unpinned already-read entries count as headroom because they
+// are evictable the moment pressure arrives.
+func (c *Cache) Headroom() int64 {
+	h := c.capacity - c.pinnedB.Load()
+	if h < 0 {
+		return 0
+	}
+	return h
 }
 
 // prefetchedOpens reports how many Acquires were served by an entry

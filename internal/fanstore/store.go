@@ -127,6 +127,15 @@ type Options struct {
 	// FetchBackoff is the pause before the first same-peer retry,
 	// doubling per attempt (default 0: immediate).
 	FetchBackoff time.Duration
+	// BatchItems bounds the objects carried by one FetchMany round trip;
+	// larger prefetch groups are split into plan-sized calls so a whole-
+	// epoch window cannot build one monster frame (default
+	// rpc.DefaultBatchItems).
+	BatchItems int
+	// DisableCoalescing turns off the singleflight sharing of concurrent
+	// fetch+decode work for the same path, reproducing the duplicate-
+	// fetch behaviour for comparison benchmarks and ablations.
+	DisableCoalescing bool
 	// Metrics re-homes every data-path instrument (cache, rpc, store) in
 	// a shared registry, so one snapshot captures the whole rank and the
 	// cluster report can merge rank snapshots name-by-name. Nil means a
@@ -210,9 +219,16 @@ type Stats struct {
 	Failovers       int64 // fetches re-routed to another replica after an error
 	BatchedFetches  int64 // FetchMany calls issued by this rank's prefetcher
 	PrefetchedOpens int64 // opens served by an entry Prefetch staged
-	Cache           CacheStats
-	Daemon          rpc.ServerStats // this rank's fetch daemon (peer-facing)
-	RPC             rpc.ClientStats // this rank's outbound fetch calls
+	// FetchCoalesced counts opens that joined another producer's
+	// in-flight fetch+decode instead of issuing their own (singleflight).
+	FetchCoalesced int64
+	// PrefetchSuppressed counts prefetch targets dropped because the
+	// object was already staged or already being produced by a
+	// concurrent open or overlapping prefetch.
+	PrefetchSuppressed int64
+	Cache              CacheStats
+	Daemon             rpc.ServerStats // this rank's fetch daemon (peer-facing)
+	RPC                rpc.ClientStats // this rank's outbound fetch calls
 }
 
 // Node is one rank's FanStore instance: metadata table, storage backend,
@@ -229,11 +245,14 @@ type Node struct {
 	// writes holds sealed output files (uncompressed, write-once).
 	writes map[string][]byte
 
-	// inflight deduplicates concurrent opens of the same not-yet-cached
-	// file: one I/O thread fetches and decompresses, the rest wait and
-	// share the cache entry (Fig. 4's refcount, extended to the fetch).
+	// inflight deduplicates concurrent producers of the same not-yet-
+	// cached file — demand opens and prefetch staging alike: one leader
+	// fetches and decompresses, the rest wait and share the cache entry
+	// (Fig. 4's refcount, extended through the fetch by flight.go).
 	inflightMu sync.Mutex
-	inflight   map[string]*fetchCall
+	inflight   map[string]*flight
+	noCoalesce bool
+	batchItems int // max objects per FetchMany call
 
 	server *rpc.Server // answers peers' fetch requests (tagFetch)
 	client *rpc.Client // issues fetch requests to peers
@@ -251,6 +270,7 @@ type Node struct {
 	decompresses, failovers                *metrics.Counter
 	bytesRead, remoteBytes                 *metrics.Counter
 	batchedFetches                         *metrics.Counter
+	fetchCoalesced, prefetchSuppressed     *metrics.Counter
 
 	openHist       *metrics.Histogram // whole open(): lookup + fetch + decompress
 	fetchHist      *metrics.Histogram // remote fetch round trips only
@@ -269,6 +289,8 @@ func (n *Node) instrument() {
 	n.bytesRead = n.reg.Counter("fanstore.bytes.read")
 	n.remoteBytes = n.reg.Counter("fanstore.bytes.remote")
 	n.batchedFetches = n.reg.Counter("fanstore.fetch.batched")
+	n.fetchCoalesced = n.reg.Counter("fanstore.fetch.coalesced")
+	n.prefetchSuppressed = n.reg.Counter("fanstore.prefetch.suppressed")
 	n.openHist = n.reg.Histogram("fanstore.open.latency")
 	n.fetchHist = n.reg.Histogram("fanstore.fetch.latency")
 	n.decompressHist = n.reg.Histogram("fanstore.decompress.latency")
@@ -320,17 +342,23 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 		// the caller did not ask for unified observability.
 		reg = metrics.NewRegistry()
 	}
+	batchItems := opts.BatchItems
+	if batchItems <= 0 {
+		batchItems = rpc.DefaultBatchItems
+	}
 	n := &Node{
-		comm:     comm,
-		cache:    NewCacheShards(opts.CacheBytes, opts.CachePolicy, opts.CacheShards),
-		backend:  backend,
-		decode:   decomp.New(opts.DecodeWorkers, reg),
-		meta:     make(map[string]*FileMeta),
-		dirs:     newDirIndex(),
-		writes:   make(map[string][]byte),
-		inflight: make(map[string]*fetchCall),
-		reg:      reg,
-		tracer:   opts.Tracer,
+		comm:       comm,
+		cache:      NewCacheShards(opts.CacheBytes, opts.CachePolicy, opts.CacheShards),
+		backend:    backend,
+		decode:     decomp.New(opts.DecodeWorkers, reg),
+		meta:       make(map[string]*FileMeta),
+		dirs:       newDirIndex(),
+		writes:     make(map[string][]byte),
+		inflight:   make(map[string]*flight),
+		noCoalesce: opts.DisableCoalescing,
+		batchItems: batchItems,
+		reg:        reg,
+		tracer:     opts.Tracer,
 	}
 	n.instrument()
 	n.cache.instrument(reg, opts.Tracer)
@@ -628,11 +656,16 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 }
 
 // prefetchTarget is one not-yet-staged remote object being walked
-// through its candidate ranks by Prefetch.
+// through its candidate ranks by Prefetch. The target's flight (the
+// prefetch is its leader) is finished nil as soon as the object is
+// staged, or with errFlightAbandoned when every replica failed — so a
+// demand open racing the window either shares the staged entry or
+// falls back to its own fetch, never an error from a best-effort path.
 type prefetchTarget struct {
-	m     *FileMeta
-	cands []int // candidate ranks in try order
-	next  int   // index into cands of the rank to ask next
+	m      *FileMeta
+	flight *flight
+	cands  []int // candidate ranks in try order
+	next   int   // index into cands of the rank to ask next
 }
 
 // Prefetch stages an upcoming access window (the sampler's next
@@ -664,17 +697,22 @@ func (n *Node) Prefetch(paths []string) int {
 		m, ok := n.meta[cp]
 		_, written := n.writes[cp]
 		n.mu.RUnlock()
-		if !ok || written || n.backend.Contains(cp) || n.cache.Contains(cp) {
+		if !ok || written || n.backend.Contains(cp) {
 			continue
 		}
-		n.inflightMu.Lock()
-		_, busy := n.inflight[cp]
-		n.inflightMu.Unlock()
-		if busy {
-			continue // an open is already producing it
+		if n.cache.Contains(cp) {
+			n.prefetchSuppressed.Inc() // already staged or resident
+			continue
 		}
 		cands := n.fetchCandidates(m)
 		if len(cands) == 0 {
+			continue
+		}
+		f, leader := n.beginFlight(cp)
+		if !leader {
+			// A demand open or an overlapping prefetch is already
+			// producing it; that flight's result lands in the cache.
+			n.prefetchSuppressed.Inc()
 			continue
 		}
 		// Rotate the starting candidate like fetchRemote does, so
@@ -684,7 +722,7 @@ func (n *Node) Prefetch(paths []string) int {
 		for i := range cands {
 			ordered = append(ordered, cands[(rot+i)%len(cands)])
 		}
-		targets = append(targets, &prefetchTarget{m: m, cands: ordered})
+		targets = append(targets, &prefetchTarget{m: m, flight: f, cands: ordered})
 	}
 	// Round-based failover: each round groups the remaining targets by
 	// their next candidate and fetches the groups concurrently; targets
@@ -714,20 +752,41 @@ func (n *Node) Prefetch(paths []string) int {
 		for _, t := range retry {
 			if t.next++; t.next < len(t.cands) {
 				targets = append(targets, t)
+			} else {
+				// Every replica failed: abandon the flight so waiting
+				// opens retry on demand rather than inheriting a
+				// best-effort failure.
+				n.finishFlight(t.m.Path, t.flight, errFlightAbandoned)
 			}
 		}
 	}
 	return staged
 }
 
-// prefetchFrom issues one FetchMany call to dst for group, decompresses
-// and stages what came back, and returns the targets dst could not
-// serve so the caller can fail over.
+// prefetchFrom fetches group from dst with as many plan-sized FetchMany
+// calls as BatchItems requires — an epoch-scale plan batch cannot build
+// one monster frame — and returns the targets dst could not serve so
+// the caller can fail over.
 func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, failed []*prefetchTarget) {
 	keys := make([]string, len(group))
 	for i, t := range group {
 		keys[i] = t.m.Path
 	}
+	off := 0
+	for _, chunk := range rpc.SplitKeys(keys, n.batchItems) {
+		ok, f := n.prefetchChunk(dst, chunk, group[off:off+len(chunk)])
+		off += len(chunk)
+		staged += ok
+		failed = append(failed, f...)
+	}
+	return staged, failed
+}
+
+// prefetchChunk issues one FetchMany call to dst for one plan-sized
+// slice of targets, decompresses and stages what came back, and
+// finishes the flight of every staged target so coalesced opens
+// unblock as soon as their object lands.
+func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget) (staged int, failed []*prefetchTarget) {
 	req := append([]byte{opFetchMany}, rpc.EncodeKeys(keys)...)
 	n.batchedFetches.Inc()
 	resp, err := n.client.Call(dst, req)
@@ -768,6 +827,7 @@ func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, faile
 		if n.cache.InsertIdleOwned(t.m.Path, decoded[i]) {
 			staged++
 		}
+		n.finishFlight(t.m.Path, t.flight, nil)
 	}
 	return staged, failed
 }
@@ -813,49 +873,42 @@ func (n *Node) decodeObject(s *codec.Scratch, m *FileMeta, compressorID uint16, 
 	return out, nil
 }
 
-// fetchCall is one in-flight produce operation shared by concurrent
-// openers of the same file.
-type fetchCall struct {
-	done chan struct{}
-	data []byte
-	err  error
-}
-
 // open produces the decompressed bytes for a metadata record, following
 // Fig. 2: cache, then local backend, then remote fetch. Concurrent
-// opens of the same uncached file share one fetch. pinned reports
-// whether the returned bytes hold a cache pin the caller must Release —
-// false only for the zero-copy passthrough path, which never enters the
-// cache. outcome tells the tracer which arm of Fig. 2 served the open.
+// producers of the same uncached file — other opens, or a prefetch
+// staging it — share one fetch+decode via singleflight (flight.go): the
+// waiter blocks on the leader's flight, then pins the shared cache
+// entry. pinned reports whether the returned bytes hold a cache pin the
+// caller must Release — false only for the zero-copy passthrough path,
+// which never enters the cache. outcome tells the tracer which arm of
+// Fig. 2 served the open; an open served by another producer's flight
+// reports OutcomeCoalesced.
 func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, outcome trace.Outcome, err error) {
+	coalesced := false
 	for {
 		if data, ok := n.cache.Acquire(m.Path); ok {
-			return data, true, trace.OutcomeCacheHit, nil
+			outcome := trace.OutcomeCacheHit
+			if coalesced {
+				outcome = trace.OutcomeCoalesced
+			}
+			return data, true, outcome, nil
 		}
-		n.inflightMu.Lock()
-		if call, ok := n.inflight[m.Path]; ok {
-			n.inflightMu.Unlock()
-			<-call.done
-			if call.err != nil {
-				return nil, false, trace.OutcomeError, call.err
+		f, leader := n.beginFlight(m.Path)
+		if !leader {
+			n.fetchCoalesced.Inc()
+			coalesced = true
+			<-f.done
+			if f.err != nil && !errors.Is(f.err, errFlightAbandoned) {
+				return nil, false, trace.OutcomeError, f.err
 			}
-			// The leader holds a pin; Acquire shares it. If the entry
-			// was already evicted (tiny cache), loop and refetch.
-			if data, ok := n.cache.Acquire(m.Path); ok {
-				return data, true, trace.OutcomeCacheHit, nil
-			}
+			// The leader's result is in the cache (pinned by an open
+			// leader, or staged idle by a prefetch leader); Acquire
+			// shares it. If it was abandoned or already evicted (tiny
+			// cache), loop and produce it on demand.
 			continue
 		}
-		call := &fetchCall{done: make(chan struct{})}
-		n.inflight[m.Path] = call
-		n.inflightMu.Unlock()
-
 		data, pinned, outcome, err := n.produceBytes(m)
-		call.data, call.err = data, err
-		n.inflightMu.Lock()
-		delete(n.inflight, m.Path)
-		n.inflightMu.Unlock()
-		close(call.done)
+		n.finishFlight(m.Path, f, err)
 		return data, pinned, outcome, err
 	}
 }
@@ -936,20 +989,49 @@ func (n *Node) Close() error {
 // registry instruments, kept for tests and existing callers.
 func (n *Node) Stats() Stats {
 	return Stats{
-		LocalOpens:      n.localOpens.Value(),
-		RemoteOpens:     n.remoteOpens.Value(),
-		ZeroCopyOpens:   n.zeroCopyOpens.Value(),
-		Decompresses:    n.decompresses.Value(),
-		BytesRead:       n.bytesRead.Value(),
-		RemoteBytes:     n.remoteBytes.Value(),
-		Failovers:       n.failovers.Value(),
-		BatchedFetches:  n.batchedFetches.Value(),
-		PrefetchedOpens: n.cache.prefetchedOpens(),
-		Cache:           n.cache.Stats(),
-		Daemon:          n.server.Stats(),
-		RPC:             n.client.Stats(),
+		LocalOpens:         n.localOpens.Value(),
+		RemoteOpens:        n.remoteOpens.Value(),
+		ZeroCopyOpens:      n.zeroCopyOpens.Value(),
+		Decompresses:       n.decompresses.Value(),
+		BytesRead:          n.bytesRead.Value(),
+		RemoteBytes:        n.remoteBytes.Value(),
+		Failovers:          n.failovers.Value(),
+		BatchedFetches:     n.batchedFetches.Value(),
+		PrefetchedOpens:    n.cache.prefetchedOpens(),
+		FetchCoalesced:     n.fetchCoalesced.Value(),
+		PrefetchSuppressed: n.prefetchSuppressed.Value(),
+		Cache:              n.cache.Stats(),
+		Daemon:             n.server.Stats(),
+		RPC:                n.client.Stats(),
 	}
 }
+
+// PlanTarget resolves a path for the epoch planner
+// (prefetch.PlanStore): its decompressed size, and whether producing it
+// requires a remote fetch (neither written locally, backend-resident,
+// nor unknown). Unknown paths report (0, false) and plan as free.
+func (n *Node) PlanTarget(path string) (size int64, remote bool) {
+	cp := cleanPath(path)
+	n.mu.RLock()
+	m, ok := n.meta[cp]
+	_, written := n.writes[cp]
+	n.mu.RUnlock()
+	if !ok || written {
+		return 0, false
+	}
+	return m.Size, !n.backend.Contains(cp)
+}
+
+// CacheHeadroom reports the decompressed cache capacity not held down
+// by pinned (currently open) entries — the bytes the planner may stage
+// into. Unpinned entries count as headroom: they are evictable, so
+// staging over them is admission-safe.
+func (n *Node) CacheHeadroom() int64 { return n.cache.Headroom() }
+
+// StagedBytes reports the bytes currently staged by prefetch but not
+// yet consumed by an open — the quantity the planner's admission rule
+// bounds.
+func (n *Node) StagedBytes() int64 { return n.cache.StagedBytes() }
 
 // Registry exposes the node's metrics registry (the one passed in
 // Options.Metrics, or the private one Mount created). Cluster reports

@@ -140,19 +140,43 @@ func Build(files []InputFile, opts BuildOptions) (*Bundle, error) {
 		parts[p] = append(parts[p], entries[i])
 		scatterIdx++
 	}
-	for _, p := range parts {
-		blob, err := Marshal(p)
+	// Serialize every partition (and the broadcast set) concurrently on
+	// the same bounded worker budget as compression: Marshal is a large
+	// sequential copy per partition — each preallocates its blob from the
+	// summed entry sizes — and running them one at a time leaves a serial
+	// tail on the build.
+	jobs := make([][]Entry, 0, len(parts)+1)
+	jobs = append(jobs, parts...)
+	if len(bcast) > 0 {
+		jobs = append(jobs, bcast)
+	}
+	blobs := make([][]byte, len(jobs))
+	merrs := make([]error, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var mwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mwg.Add(1)
+		go func(w int) {
+			defer mwg.Done()
+			for i := w; i < len(jobs); i += workers {
+				blobs[i], merrs[i] = Marshal(jobs[i])
+			}
+		}(w)
+	}
+	mwg.Wait()
+	for _, err := range merrs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	for _, blob := range blobs[:len(parts)] {
 		bundle.Scatter = append(bundle.Scatter, blob)
 		bundle.PackedBytes += int64(len(blob))
 	}
 	if len(bcast) > 0 {
-		blob, err := Marshal(bcast)
-		if err != nil {
-			return nil, err
-		}
+		blob := blobs[len(parts)]
 		bundle.Broadcast = blob
 		bundle.PackedBytes += int64(len(blob))
 	}

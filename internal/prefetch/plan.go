@@ -1,0 +1,286 @@
+// Epoch-plan prefetch scheduling. The training-I/O insight behind it
+// (NoPFS, "Clairvoyant Prefetching for Distributed Machine Learning
+// I/O") is that an epoch's access sequence is fully known the moment
+// the sampler's permutation is drawn — so instead of reacting with a
+// fixed look-ahead window, the scheduler materializes the whole epoch,
+// keeps only the entries that need a remote fetch, and streams them to
+// the store in plan-sized batches, gated by cache-pressure admission:
+// never hold more staged-but-unread bytes than the cache's unpinned
+// capacity, backing off until the consumer (or an eviction) frees room.
+package prefetch
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/trace"
+)
+
+// PlanStore is the store surface the epoch planner schedules against:
+// the staging entry point plus the three signals the plan and its
+// admission rule are built from. fanstore's Node satisfies it.
+type PlanStore interface {
+	Prefetcher
+	// PlanTarget resolves one path: its decompressed size and whether
+	// producing it needs a remote fetch (false: local or unknown, the
+	// plan skips it).
+	PlanTarget(path string) (size int64, remote bool)
+	// CacheHeadroom is the cache capacity not pinned by open files —
+	// the bytes staging may occupy.
+	CacheHeadroom() int64
+	// StagedBytes is the bytes currently staged but not yet consumed.
+	StagedBytes() int64
+}
+
+// PlanItem is one remote object the epoch will consume.
+type PlanItem struct {
+	Iter int // iteration that consumes it
+	Path string
+	Size int64 // decompressed bytes (the admission unit)
+}
+
+// Plan is one rank's materialized epoch: every remote object the
+// sampler's permutation will touch, in consumption order.
+type Plan struct {
+	Items []PlanItem
+	Iters int   // iterations the sampler yielded
+	Bytes int64 // total decompressed bytes of Items
+}
+
+// BuildPlan consumes sampler's full permutation (iteration 0 until
+// ok=false) and keeps the paths store reports as remote, with their
+// sizes. Duplicate paths are planned once, at their first appearance —
+// after that first fetch the object is cached or evicted-and-refetched
+// on demand, and replanning it would double-count admission.
+func BuildPlan(sampler Sampler, store PlanStore) *Plan {
+	p := &Plan{}
+	seen := make(map[string]bool)
+	for i := 0; ; i++ {
+		paths, ok := sampler(i)
+		if !ok {
+			break
+		}
+		p.Iters = i + 1
+		for _, path := range paths {
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			size, remote := store.PlanTarget(path)
+			if !remote {
+				continue
+			}
+			p.Items = append(p.Items, PlanItem{Iter: i, Path: path, Size: size})
+			p.Bytes += size
+		}
+	}
+	return p
+}
+
+// SchedOptions configures a Scheduler.
+type SchedOptions struct {
+	// BatchFiles bounds the objects handed to one Prefetch call
+	// (default 32). The store splits further into wire-sized FetchMany
+	// frames; this knob shapes admission granularity.
+	BatchFiles int
+	// AdmissionBytes overrides the staged-bytes budget. 0 means the
+	// live cache headroom (capacity minus pinned bytes), re-read before
+	// every batch so the budget tracks open-file pressure.
+	AdmissionBytes int64
+	// Poll is how often the admission wait re-checks cache pressure
+	// when no Advance arrives (default 200µs): evictions free space
+	// without notifying the scheduler.
+	Poll time.Duration
+	// Metrics registers the scheduler's instruments ("prefetch.plan.*").
+	Metrics *metrics.Registry
+	// Tracer records one OpPrefetch span covering the whole plan replay.
+	Tracer *trace.Tracer
+}
+
+// Scheduler streams an epoch plan into a store: batches of upcoming
+// remote objects, each admitted only when the staged-but-unread bytes
+// plus the batch fit the admission budget. The consumer reports
+// progress with Advance; items whose iteration has already been
+// consumed are dropped, not staged. All methods are safe for
+// concurrent use.
+type Scheduler struct {
+	store PlanStore
+	plan  *Plan
+	batch int
+	admit int64
+	poll  time.Duration
+
+	consumed atomic.Int64 // first iteration not yet delivered
+	maxStage atomic.Int64 // high-water of StagedBytes (test hook)
+
+	kick chan struct{} // Advance pings the admission wait
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+
+	planned *metrics.Counter // remote items in the plan
+	batches *metrics.Counter // Prefetch calls issued
+	staged  *metrics.Counter // objects the store reported staged
+	skipped *metrics.Counter // items dropped as already consumed
+	waits   *metrics.Counter // batches that waited on admission
+	tracer  *trace.Tracer
+}
+
+// NewScheduler builds a scheduler for plan over store and starts its
+// staging goroutine immediately. Stop (or plan exhaustion) releases it.
+func NewScheduler(store PlanStore, plan *Plan, opts SchedOptions) *Scheduler {
+	batch := opts.BatchFiles
+	if batch <= 0 {
+		batch = 32
+	}
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	s := &Scheduler{
+		store:   store,
+		plan:    plan,
+		batch:   batch,
+		admit:   opts.AdmissionBytes,
+		poll:    poll,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		planned: opts.Metrics.Counter("prefetch.plan.items"),
+		batches: opts.Metrics.Counter("prefetch.plan.batches"),
+		staged:  opts.Metrics.Counter("prefetch.plan.staged"),
+		skipped: opts.Metrics.Counter("prefetch.plan.skipped"),
+		waits:   opts.Metrics.Counter("prefetch.plan.admission.waits"),
+		tracer:  opts.Tracer,
+	}
+	s.planned.Add(int64(len(plan.Items)))
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// run walks the plan start to finish: carve the next batch, wait for
+// admission, hand it to the store.
+func (s *Scheduler) run() {
+	defer s.wg.Done()
+	tstart := s.tracer.Begin()
+	defer s.tracer.End(trace.OpPrefetch, "epoch-plan", trace.OutcomeNone, tstart)
+	cursor := 0
+	for cursor < len(s.plan.Items) {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		// Carve the next batch: up to BatchFiles not-yet-consumed items,
+		// clipped so one batch alone never exceeds the budget (a single
+		// oversized object still ships, or nothing ever would).
+		consumed := int(s.consumed.Load())
+		var paths []string
+		var batchBytes int64
+		for cursor < len(s.plan.Items) && len(paths) < s.batch {
+			it := s.plan.Items[cursor]
+			if it.Iter < consumed {
+				s.skipped.Inc()
+				cursor++
+				continue
+			}
+			if len(paths) > 0 && batchBytes+it.Size > s.budget() {
+				break
+			}
+			paths = append(paths, it.Path)
+			batchBytes += it.Size
+			cursor++
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		if !s.admitted(batchBytes) {
+			return // stopped while waiting
+		}
+		s.batches.Inc()
+		s.staged.Add(int64(s.store.Prefetch(paths)))
+		if st := s.store.StagedBytes(); st > s.maxStage.Load() {
+			s.maxStage.Store(st)
+		}
+	}
+}
+
+// budget is the admission ceiling for staged-but-unread bytes: the
+// override if configured, else the live cache headroom.
+func (s *Scheduler) budget() int64 {
+	if s.admit > 0 {
+		return s.admit
+	}
+	return s.store.CacheHeadroom()
+}
+
+// admitted blocks until batchBytes fits under the admission budget
+// alongside what is already staged (or staging is fully drained — an
+// oversized batch must not starve). Returns false if stopped.
+func (s *Scheduler) admitted(batchBytes int64) bool {
+	waited := false
+	for {
+		staged := s.store.StagedBytes()
+		if staged > s.maxStage.Load() {
+			s.maxStage.Store(staged)
+		}
+		if staged == 0 || staged+batchBytes <= s.budget() {
+			return true
+		}
+		if !waited {
+			waited = true
+			s.waits.Inc()
+		}
+		select {
+		case <-s.done:
+			return false
+		case <-s.kick:
+		case <-time.After(s.poll):
+		}
+	}
+}
+
+// Advance tells the scheduler the consumer has been delivered iteration
+// iter: plan items at or before it are no longer worth staging, and
+// the admission wait should re-check the freed space. Nil-safe, so the
+// pipeline reports progress unconditionally.
+func (s *Scheduler) Advance(iter int) {
+	if s == nil {
+		return
+	}
+	next := int64(iter + 1)
+	for {
+		cur := s.consumed.Load()
+		if next <= cur || s.consumed.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts staging and waits for the scheduler goroutine to exit.
+// Nil-safe; safe to call multiple times and after exhaustion.
+func (s *Scheduler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stop.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Wait blocks until the scheduler has walked the whole plan (or was
+// stopped).
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// MaxStagedBytes reports the high-water mark of the store's staged
+// bytes observed by the scheduler — the quantity the admission rule
+// bounds (test hook).
+func (s *Scheduler) MaxStagedBytes() int64 { return s.maxStage.Load() }
+
+// Plan returns the plan being scheduled.
+func (s *Scheduler) Plan() *Plan { return s.plan }

@@ -9,6 +9,18 @@
 // role. The pipeline is a bounded queue of batch futures filled by a
 // configurable number of I/O goroutines — the paper's "4 I/O threads per
 // process" (§II-B1).
+//
+// Remote staging runs in one of two modes. The reactive mode
+// (Options.Prefetcher + Options.Lookahead) announces a fixed window of
+// upcoming iterations as they are sampled, and the store stages each
+// window with batched fetches. The clairvoyant mode (Options.Scheduler,
+// plan.go) exploits that the sampler's permutation is fully known at
+// epoch start: BuildPlan materializes the epoch's entire remote access
+// sequence up front and a Scheduler streams it into the store under
+// cache-pressure admission control — staged-but-unread bytes never
+// exceed the cache's unpinned capacity, backing off until delivered
+// batches (reported via Advance) free room. The plan replaces the
+// window; it is not limited by it.
 package prefetch
 
 import (
@@ -67,6 +79,12 @@ type Options struct {
 	// Lookahead is how many iterations beyond the one being dispatched
 	// are sampled and announced to the Prefetcher (default 2*Depth).
 	Lookahead int
+	// Scheduler, when set, replaces the reactive Prefetcher/Lookahead
+	// window with clairvoyant epoch-plan staging: the pipeline reports
+	// delivered iterations to it (Advance) and stops it on teardown,
+	// and the scheduler stages the whole epoch under admission control.
+	// Prefetcher and Lookahead are ignored when a Scheduler is set.
+	Scheduler *Scheduler
 	// Metrics registers the pipeline's instruments ("prefetch.*"):
 	// wait.latency is how long the consumer stalls in Next (I/O the
 	// pipeline failed to hide), batch.latency is worker time producing
@@ -80,10 +98,11 @@ type Options struct {
 
 // Pipeline prefetches batches ahead of a training loop.
 type Pipeline struct {
-	out  chan result
-	stop chan struct{}
-	once sync.Once
-	wg   sync.WaitGroup
+	out   chan result
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	sched *Scheduler // epoch-plan staging, nil in reactive mode
 
 	waitHist  *metrics.Histogram // consumer stall per Next that blocked
 	batchHist *metrics.Histogram // worker time per produced batch
@@ -114,12 +133,18 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 	if look <= 0 {
 		look = 2 * depth
 	}
+	if opts.Scheduler != nil {
+		// The epoch plan already covers everything a window would
+		// announce; the reactive path stands down entirely.
+		opts.Prefetcher = nil
+	}
 	if opts.Prefetcher == nil {
 		look = 0 // nobody to announce to; sample lazily as before
 	}
 	p := &Pipeline{
 		out:       make(chan result, depth),
 		stop:      make(chan struct{}),
+		sched:     opts.Scheduler,
 		waitHist:  opts.Metrics.Histogram("prefetch.wait.latency"),
 		batchHist: opts.Metrics.Histogram("prefetch.batch.latency"),
 		batches:   opts.Metrics.Counter("prefetch.batches"),
@@ -262,6 +287,9 @@ func New(r Reader, sampler Sampler, opts Options) *Pipeline {
 				next++
 				select {
 				case p.out <- res:
+					// The plan no longer needs to stage this iteration,
+					// and its consumption may have freed admission room.
+					p.sched.Advance(res.batch.Index)
 				case <-p.stop:
 					return
 				}
@@ -324,10 +352,14 @@ func (p *Pipeline) Next() (Batch, bool, error) {
 	}
 }
 
-// Stop cancels the pipeline and releases its goroutines. Safe to call
-// multiple times and after exhaustion.
+// Stop cancels the pipeline and releases its goroutines, including the
+// epoch-plan scheduler when one is attached. Safe to call multiple
+// times and after exhaustion.
 func (p *Pipeline) Stop() {
-	p.once.Do(func() { close(p.stop) })
+	p.once.Do(func() {
+		close(p.stop)
+		p.sched.Stop()
+	})
 }
 
 // RangeSampler batches a path list into fixed-size iterations, striped

@@ -16,6 +16,30 @@ import (
 // Key frame:   u32 count | (u32 len | bytes)*
 // Item frame:  u32 count | (u8 status | u32 len | bytes)*
 
+// DefaultBatchItems is the default ceiling on keys per batched call.
+// Epoch-scale prefetch plans are split into frames of this many objects:
+// large enough to amortize the round trip, small enough that one call
+// neither builds a monster frame nor monopolizes a daemon worker.
+const DefaultBatchItems = 64
+
+// SplitKeys cuts keys into consecutive plan-sized slices of at most max
+// keys each (one slice per batched call). The slices alias the input.
+// A non-positive max means no splitting.
+func SplitKeys(keys []string, max int) [][]string {
+	if len(keys) == 0 {
+		return nil
+	}
+	if max <= 0 || len(keys) <= max {
+		return [][]string{keys}
+	}
+	out := make([][]string, 0, (len(keys)+max-1)/max)
+	for len(keys) > max {
+		out = append(out, keys[:max])
+		keys = keys[max:]
+	}
+	return append(out, keys)
+}
+
 // Per-item statuses of a batched response.
 const (
 	// ItemOK marks an item whose payload is the requested object.

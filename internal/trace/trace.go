@@ -102,6 +102,9 @@ const (
 	OutcomeFailover
 	// OutcomeSpill touched the local-disk spill backend.
 	OutcomeSpill
+	// OutcomeCoalesced waited on another caller's in-flight fetch+decode
+	// of the same path instead of issuing its own (singleflight).
+	OutcomeCoalesced
 	// OutcomeError is an operation that failed.
 	OutcomeError
 	numOutcomes
@@ -116,6 +119,7 @@ var outcomeNames = [numOutcomes]string{
 	OutcomeRemoteFetch: "remote-fetch",
 	OutcomeFailover:    "failover",
 	OutcomeSpill:       "spill",
+	OutcomeCoalesced:   "coalesced",
 	OutcomeError:       "error",
 }
 

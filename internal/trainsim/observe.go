@@ -75,3 +75,114 @@ func (c Config) TraceEpochs(epochs, dataSize int, obs SimObserver) time.Duration
 	}
 	return now
 }
+
+// PrefetchMode selects how a replayed epoch stages its remote data.
+type PrefetchMode int
+
+const (
+	// PrefetchWindow replays the reactive fixed look-ahead: every epoch
+	// starts cold and the window primes with Window serial staging round
+	// trips before I/O overlaps compute (the announcer stages one window
+	// per dispatched iteration until the pipeline is Window deep).
+	PrefetchWindow PrefetchMode = iota
+	// PrefetchPlanned replays the epoch-plan scheduler: the whole
+	// permutation is known before iteration 0, so the cold fill is one
+	// batched round trip and staging then stays ahead of the consumer
+	// under admission control.
+	PrefetchPlanned
+)
+
+// ReplayConfig parameterizes TraceEpochsReplay.
+type ReplayConfig struct {
+	Mode PrefetchMode
+	// Window is the reactive look-ahead depth in iterations (default 4,
+	// the classic 2×double-buffering). It prices the per-epoch cold
+	// fill in PrefetchWindow mode.
+	Window int
+	// AdmissionBytes caps the bytes the planned scheduler may hold
+	// staged-but-unread (0: unbounded by the model; the live system
+	// defaults to cache headroom). Reported, not a time term.
+	AdmissionBytes int64
+}
+
+// TraceEpochsReplay replays epochs like TraceEpochs but prices the
+// prefetch mode's cold-fill behaviour, the term the epoch planner
+// attacks: an async pipeline hides steady-state I/O behind compute, but
+// each epoch still stalls while its first window stages. The reactive
+// window issues those fetches as iterations are dispatched — Window
+// serial staging round trips of io each — while the planner, knowing
+// the permutation up front, fills the same window with one batched
+// round trip. Each epoch records an OpPrefetch fill span; planned mode
+// also reports "trainsim.plan.staged.bytes", the model's bound on
+// staged-but-unread data (min of AdmissionBytes and the epoch's remote
+// bytes). Synchronous pipelines never overlap, so both modes converge.
+func (c Config) TraceEpochsReplay(epochs, dataSize int, rc ReplayConfig, obs SimObserver) time.Duration {
+	skew := obs.Skew
+	if skew <= 0 {
+		skew = 1
+	}
+	window := rc.Window
+	if window <= 0 {
+		window = 4
+	}
+	io := time.Duration(float64(c.IOTime()) * skew)
+	compute := c.ComputeTime()
+	iter := compute + io
+	stall := io
+	if !c.App.Sync {
+		iter = compute
+		stall = 0
+		if io > compute {
+			iter = io
+			stall = io - compute
+		}
+	}
+	// The cold fill: what the pipeline pays before overlap primes.
+	var fill time.Duration
+	if !c.App.Sync {
+		switch rc.Mode {
+		case PrefetchPlanned:
+			fill = io // one batched round trip stages the first window
+		default:
+			fill = time.Duration(window) * io // serial window priming
+		}
+	}
+	iters := NumIters(1, dataSize, c.App.CBatch*c.Nodes)
+	epochDur := fill + time.Duration(iters)*iter
+	epochStall := fill + time.Duration(iters)*stall
+
+	epochHist := obs.Metrics.Histogram("trainsim.epoch.latency")
+	iterHist := obs.Metrics.Histogram("trainsim.iter.latency")
+	fillHist := obs.Metrics.Histogram("trainsim.fill.latency")
+	epochCount := obs.Metrics.Counter("trainsim.epochs")
+	iterCount := obs.Metrics.Counter("trainsim.iters")
+
+	if rc.Mode == PrefetchPlanned {
+		remote := int64(float64(c.App.FileSizeBytes()) * c.RemoteFrac * float64(dataSize) / float64(c.Nodes))
+		if rc.AdmissionBytes > 0 && remote > rc.AdmissionBytes {
+			remote = rc.AdmissionBytes
+		}
+		obs.Metrics.Counter("trainsim.plan.staged.bytes").Add(remote)
+	}
+
+	var now time.Duration
+	for e := 0; e < epochs; e++ {
+		obs.Tracer.Record(trace.OpEpoch, "", trace.OutcomeNone, now, epochDur)
+		if fill > 0 {
+			obs.Tracer.Record(trace.OpPrefetch, "", trace.OutcomeRemoteFetch, now, fill)
+		}
+		fillHist.Observe(fill)
+		if rest := epochStall - fill; rest > 0 {
+			obs.Tracer.Record(trace.OpWait, "", trace.OutcomeNone, now+fill, rest)
+		}
+		obs.Tracer.Record(trace.OpCompute, "", trace.OutcomeNone, now+epochStall, epochDur-epochStall)
+		epochHist.Observe(epochDur)
+		for i := 0; i < iters; i++ {
+			iterHist.Observe(iter)
+		}
+		epochCount.Inc()
+		iterCount.Add(int64(iters))
+		now += epochDur
+	}
+	return now
+}
