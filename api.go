@@ -165,10 +165,40 @@ func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), 
 	return mpi.JoinTCP(dir, rank, size, timeout)
 }
 
+// JoinTCPMembers is JoinTCP for elastic deployments: the world spans
+// size slots but this rank only waits for the listed initial members;
+// the other slots' addresses resolve lazily when they come up. Pair it
+// with MountElastic/JoinCluster for multi-process elastic clusters.
+func JoinTCPMembers(dir string, rank, size int, waitFor []int, timeout time.Duration) (*Comm, func(), error) {
+	return mpi.JoinTCPMembers(dir, rank, size, waitFor, timeout)
+}
+
 // Mount loads this rank's partitions, builds the global metadata view
 // collectively, and starts the FanStore daemon. Every rank must call it.
 func Mount(c *Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node, error) {
 	return store.Mount(c, partitions, broadcast, opts)
+}
+
+// ElasticOptions configures an elastic mount: the usual Options plus the
+// initial member count and the per-node capacity used by rebalance
+// planning.
+type ElasticOptions = store.ElasticOptions
+
+// MountElastic mounts a FanStore whose membership can change while it
+// serves: ranks 0..InitialMembers-1 of the world form the cluster under
+// a versioned cluster map (rank 0 coordinates), and the remaining world
+// slots stay free for JoinCluster. Growing and shrinking trigger online
+// delta rebalances; reads are served throughout.
+func MountElastic(c *Comm, partitions [][]byte, opts ElasticOptions) (*Node, error) {
+	return store.MountElastic(c, partitions, opts)
+}
+
+// JoinCluster adds this rank to a running elastic cluster mid-training:
+// it is admitted to the cluster map, downloads the metadata table, and
+// returns once the triggered rebalance has moved its share of the
+// partitions onto it.
+func JoinCluster(c *Comm, coordRank int, opts ElasticOptions) (*Node, error) {
+	return store.JoinCluster(c, coordRank, opts)
 }
 
 // RingReplicate passes each rank's partitions to its ring neighbor and
@@ -203,6 +233,17 @@ type Placement = store.Placement
 // capacity with ring-neighbor replicas (§IV-C1, §V-D).
 func PlanPlacement(partSizes []int64, nodes int, capacity int64) (*Placement, error) {
 	return store.PlanPlacement(partSizes, nodes, capacity)
+}
+
+// Move is one partition changing node in a delta placement.
+type Move = store.Move
+
+// PlanDelta re-plans a placement after the node count changes, moving as
+// few partition bytes as possible: partitions keep their previous owner
+// whenever it still exists and has room, and only the remainder (plus
+// whatever a bounded balance pass shifts) moves.
+func PlanDelta(partSizes []int64, prevOwner []int, nodes int, capacity int64) (*Placement, []Move, error) {
+	return store.PlanDelta(partSizes, prevOwner, nodes, capacity)
 }
 
 // SelectCompressor applies the §VI-B selection algorithm: among measured

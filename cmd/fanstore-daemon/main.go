@@ -49,21 +49,36 @@ func main() {
 		lookahead  = flag.Int("prefetch", 0, "reads of look-ahead staged via batched FetchMany (0: fetch on demand)")
 		traceOut   = flag.String("trace", "", "write this rank's Chrome trace-event JSON timeline to this file")
 		report     = flag.Bool("report", false, "run the cluster report collective; rank 0 prints the merged view")
+		members    = flag.Int("members", 0, "initial elastic members: ranks 0..members-1 mount, the rest are spare slots (0: static world)")
+		joinLate   = flag.Bool("join", false, "join a running elastic cluster as a new member (requires -members; no -part)")
+		leaveEarly = flag.Bool("leave", false, "leave the elastic cluster after the reads, draining partitions to the survivors")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
 
-	if *rendezvous == "" || *rank < 0 || *size <= 0 || *parts == "" {
-		log.Fatal("-rendezvous, -rank, -size and -part are required")
+	elastic := *members > 0 || *joinLate
+	if *rendezvous == "" || *rank < 0 || *size <= 0 {
+		log.Fatal("-rendezvous, -rank and -size are required")
+	}
+	if *joinLate && *members <= 0 {
+		log.Fatal("-join requires -members (the cluster's initial member count)")
+	}
+	if *leaveEarly && !elastic {
+		log.Fatal("-leave requires an elastic cluster (-members/-join)")
+	}
+	if *parts == "" && !*joinLate {
+		log.Fatal("-part is required (a joining member receives partitions from the rebalance instead)")
 	}
 
 	var own [][]byte
-	for _, p := range strings.Split(*parts, ",") {
-		blob, err := os.ReadFile(strings.TrimSpace(p))
-		if err != nil {
-			log.Fatal(err)
+	if *parts != "" {
+		for _, p := range strings.Split(*parts, ",") {
+			blob, err := os.ReadFile(strings.TrimSpace(p))
+			if err != nil {
+				log.Fatal(err)
+			}
+			own = append(own, blob)
 		}
-		own = append(own, blob)
 	}
 	var bcast []byte
 	if *broadcast != "" {
@@ -73,7 +88,20 @@ func main() {
 		}
 	}
 
-	comm, leave, err := mpi.JoinTCP(*rendezvous, *rank, *size, *timeout)
+	var comm *fanstore.Comm
+	var leave func()
+	var err error
+	if elastic {
+		// Only the initial members rendezvous; spare slots (and this
+		// rank, if it joins late) resolve lazily when they come up.
+		waitFor := make([]int, 0, *members)
+		for r := 0; r < *members; r++ {
+			waitFor = append(waitFor, r)
+		}
+		comm, leave, err = mpi.JoinTCPMembers(*rendezvous, *rank, *size, waitFor, *timeout)
+	} else {
+		comm, leave, err = mpi.JoinTCP(*rendezvous, *rank, *size, *timeout)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,11 +122,26 @@ func main() {
 		Metrics:       reg,
 		Tracer:        tr,
 	}
-	node, err := fanstore.Mount(comm, own, bcast, opts)
+	var node *fanstore.Node
+	if elastic {
+		eopts := fanstore.ElasticOptions{Options: opts, InitialMembers: *members}
+		if *joinLate {
+			node, err = fanstore.JoinCluster(comm, 0, eopts)
+		} else {
+			node, err = fanstore.MountElastic(comm, own, eopts)
+		}
+	} else {
+		node, err = fanstore.Mount(comm, own, bcast, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("mounted: %d files global, %d local", node.NumFiles(), node.LocalFiles())
+	if elastic {
+		log.Printf("mounted: %d files global, %d local (elastic, node %d, map v%d)",
+			node.NumFiles(), node.LocalFiles(), node.ID(), node.MapVersion())
+	} else {
+		log.Printf("mounted: %d files global, %d local", node.NumFiles(), node.LocalFiles())
+	}
 
 	// Enumerate the namespace, then read random files — local or remote.
 	var paths []string
@@ -177,14 +220,25 @@ func main() {
 			float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses)*100)
 	}
 
+	if elastic {
+		log.Printf("elastic: map v%d, rebalance moved %d bytes here, %d transfers pending",
+			node.MapVersion(), node.RebalancedBytes(), node.RebalancePending())
+	}
+
 	if *report {
-		// Collective: every daemon must be launched with -report too.
-		rep, err := fanstore.GatherReport(comm, reg, fanstore.ReportOptions{Elapsed: elapsed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *rank == 0 {
-			fmt.Print(rep.String())
+		if elastic {
+			// The report reduction is a world-wide collective; with
+			// partial membership the empty slots would never answer.
+			log.Printf("report: skipped (collective report needs a static world)")
+		} else {
+			// Collective: every daemon must be launched with -report too.
+			rep, err := fanstore.GatherReport(comm, reg, fanstore.ReportOptions{Elapsed: elapsed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *rank == 0 {
+				fmt.Print(rep.String())
+			}
 		}
 	}
 	if *traceOut != "" {
@@ -201,7 +255,17 @@ func main() {
 		log.Printf("trace: wrote %s", *traceOut)
 	}
 
-	// Collective shutdown: no rank exits while peers may still fetch.
+	// Shutdown. A leaving member drains its partitions to the survivors
+	// and departs alone; everyone else shuts down collectively (the
+	// elastic path replaces the barrier with a bye/ack handshake through
+	// the coordinator) — no rank exits while peers may still fetch.
+	if *leaveEarly {
+		if err := node.LeaveCluster(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("left the cluster")
+		return
+	}
 	if err := node.Close(); err != nil {
 		log.Fatal(err)
 	}

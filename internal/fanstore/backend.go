@@ -29,6 +29,11 @@ type Backend interface {
 	Peek(path string) (compressorID uint16, data []byte, ok bool)
 	// Contains reports whether the backend holds path.
 	Contains(path string) bool
+	// Remove forgets the given objects — the old owner's half of a
+	// rebalance handoff commit. Space reclamation is backend-specific
+	// (the RAM backend keeps the partition blob alive until all of its
+	// entries are gone; the spill backend only drops index entries).
+	Remove(paths []string)
 	// Len reports how many objects the backend holds.
 	Len() int
 	// Close releases backend resources (spill file handles, ...).
@@ -85,6 +90,14 @@ func (b *ramBackend) Contains(path string) bool {
 	_, ok := b.objects[path]
 	b.mu.RUnlock()
 	return ok
+}
+
+func (b *ramBackend) Remove(paths []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range paths {
+		delete(b.objects, cleanPath(p))
+	}
 }
 
 func (b *ramBackend) Len() int {
@@ -184,6 +197,14 @@ func (b *spillBackend) Contains(path string) bool {
 	_, ok := b.objects[path]
 	b.mu.RUnlock()
 	return ok
+}
+
+func (b *spillBackend) Remove(paths []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range paths {
+		delete(b.objects, cleanPath(p))
+	}
 }
 
 func (b *spillBackend) Len() int {

@@ -1,0 +1,911 @@
+package fanstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fanstore/internal/member"
+	"fanstore/internal/metrics"
+	"fanstore/internal/mpi"
+)
+
+// Elastic mode: the fixed-size mpi world becomes a pool of slots, and the
+// member package's versioned ClusterMap decides which slots are cluster
+// members. Ranks 0..InitialMembers-1 call MountElastic collectively
+// (rank 0 runs the coordinator); any other slot can later call
+// JoinCluster, which admits it to the map, ships it the metadata table,
+// and triggers an online delta rebalance — moving partitions stream to
+// the new owner over the ordinary fetch worker pool while every member
+// keeps serving reads, and the handoff only commits (map version bump +
+// ownership rewrite + old-owner drop) once all transfers have landed.
+//
+// The control plane is a star on tagCtrl: members talk to the
+// coordinator, the coordinator broadcasts commits. Reads never wait on
+// it — they run on the fetch plane and recover from the one race the
+// scheme allows (routing planned on a map one commit behind) through the
+// typed stale-map retry in fetchRemote.
+
+// Control ops, the first byte of every tagCtrl frame.
+const (
+	ctrlRegister = byte(1)  // member -> coord: partition inventory at mount
+	ctrlTable    = byte(2)  // coord -> member: full metadata table
+	ctrlJoin     = byte(3)  // joiner -> coord: rebalance me in
+	ctrlMove     = byte(4)  // coord -> dest: pull one partition
+	ctrlMoved    = byte(5)  // dest -> coord: pull finished (ok or failed)
+	ctrlCommit   = byte(6)  // coord -> members: new map + rewritten owners
+	ctrlLeave    = byte(7)  // leaver -> coord: drain my partitions
+	ctrlDrained  = byte(8)  // coord -> leaver: you own nothing, go
+	ctrlBye      = byte(9)  // member -> coord: done with the namespace
+	ctrlByeAck   = byte(10) // coord -> members: everyone said bye, shut down
+)
+
+// ElasticOptions configures an elastic mount.
+type ElasticOptions struct {
+	Options
+	// InitialMembers is how many ranks (0..InitialMembers-1) mount
+	// collectively at start; the remaining slots are spare capacity for
+	// JoinCluster. 0 means the whole world (a fully-populated elastic
+	// cluster, still able to shrink).
+	InitialMembers int
+	// NodeCapacity bounds each member's partition bytes for rebalance
+	// planning (0: effectively unbounded — the aggregate dataset size).
+	NodeCapacity int64
+}
+
+// transfer is one partition changing owner in a rebalance.
+type transfer struct {
+	gid  uint64
+	from member.NodeID
+	to   member.NodeID
+}
+
+// partRec is the coordinator's registry entry for one loaded partition.
+type partRec struct {
+	gid   uint64
+	size  int64
+	owner member.NodeID
+	metas []FileMeta // records for the partition's entries (owner-stamped)
+}
+
+// coordState is the coordinator-only rebalance machinery. All fields are
+// guarded by elasticCtrl.mu; the ctrl loop is the only long-lived writer,
+// but bye/leave bookkeeping crosses goroutines.
+type coordState struct {
+	registry map[uint64]*partRec
+	// One rebalance runs at a time; later joins/leaves queue.
+	active  *rebalanceJob
+	queue   []*rebalanceJob
+	byes    map[member.NodeID]bool
+	closing bool
+}
+
+// rebalanceJob tracks one in-flight join or leave rebalance.
+type rebalanceJob struct {
+	transfers map[uint64]transfer // pending pulls, keyed by gid
+	done      []transfer          // acked pulls (these commit)
+	leaver    member.NodeID       // NoNode for a join
+	leaveRank int
+}
+
+// elasticCtrl is a Node's elastic control plane: membership handle, ctrl
+// listener, commit signaling, and (on the coordinator) the rebalance
+// state machine.
+type elasticCtrl struct {
+	n         *Node
+	mem       *member.Membership
+	coordRank int
+	opts      ElasticOptions
+
+	wg sync.WaitGroup // ctrl loop
+
+	mu      sync.Mutex
+	waiters []*commitWaiter
+	coord   *coordState // nil on non-coordinators
+
+	drained chan struct{} // closed when the coordinator acks our leave
+	byeAck  chan struct{} // closed when the coordinator acks shutdown
+
+	rebalBytes   *metrics.Counter
+	rebalPending *metrics.Gauge
+}
+
+type commitWaiter struct {
+	minVersion uint64
+	ch         chan struct{}
+}
+
+func newElasticCtrl(n *Node, mem *member.Membership, coordRank int, opts ElasticOptions) *elasticCtrl {
+	e := &elasticCtrl{
+		n:            n,
+		mem:          mem,
+		coordRank:    coordRank,
+		opts:         opts,
+		drained:      make(chan struct{}),
+		byeAck:       make(chan struct{}),
+		rebalBytes:   n.reg.Counter("rebalance.bytes.moved"),
+		rebalPending: n.reg.Gauge("rebalance.partitions.pending"),
+	}
+	if mem.IsCoordinator() {
+		e.coord = &coordState{
+			registry: make(map[uint64]*partRec),
+			byes:     make(map[member.NodeID]bool),
+		}
+	}
+	return e
+}
+
+// MountElastic mounts an elastic FanStore over ranks
+// 0..InitialMembers-1 of the world; rank 0 runs the coordinator. Unlike
+// the static Mount it uses no world-wide collectives — metadata flows
+// through the coordinator star — so the remaining slots stay free for
+// later JoinCluster calls. Each mounting rank passes its own partitions.
+func MountElastic(comm *mpi.Comm, partitions [][]byte, opts ElasticOptions) (*Node, error) {
+	members := opts.InitialMembers
+	if members <= 0 {
+		members = comm.Size()
+	}
+	if comm.Rank() >= members {
+		return nil, fmt.Errorf("fanstore: rank %d is not an initial member (InitialMembers=%d); use JoinCluster", comm.Rank(), members)
+	}
+	const coordRank = 0
+	var mem *member.Membership
+	if comm.Rank() == coordRank {
+		mem = member.StartCoordinator(comm)
+	} else {
+		var err error
+		mem, err = member.Join(comm, coordRank)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n, err := newNode(comm, mem.View(), mem.ID(), true, opts.Options)
+	if err != nil {
+		mem.Close()
+		return nil, err
+	}
+	n.mem = mem
+	e := newElasticCtrl(n, mem, coordRank, opts)
+	n.ectrl = e
+
+	// Load this rank's partitions under cluster-unique gids.
+	var localMetas []FileMeta
+	var localParts []*partRec
+	for i, blob := range partitions {
+		gid := uint64(mem.ID())<<32 | uint64(i)
+		metas, err := n.loadPartitionGID(gid, blob)
+		if err != nil {
+			mem.Close()
+			return nil, err
+		}
+		localMetas = append(localMetas, metas...)
+		localParts = append(localParts, &partRec{gid: gid, size: int64(len(blob)), owner: mem.ID(), metas: metas})
+	}
+
+	if mem.IsCoordinator() {
+		// Gather the other initial members' inventories, merge, reply
+		// with the full table. Frames that are not registrations (an
+		// eager joiner racing the mount) are deferred to the ctrl loop.
+		for _, rec := range localParts {
+			e.coord.registry[rec.gid] = rec
+		}
+		for i := range localMetas {
+			n.addMeta(localMetas[i])
+		}
+		var deferred []ctrlFrame
+		seen := 0
+		for seen < members-1 {
+			data, src, err := comm.Recv(mpi.AnySource, tagCtrl)
+			if err != nil {
+				mem.Close()
+				return nil, fmt.Errorf("fanstore: elastic mount: %w", err)
+			}
+			if len(data) == 0 || data[0] != ctrlRegister {
+				deferred = append(deferred, ctrlFrame{data: data, src: src})
+				continue
+			}
+			recs, metas, err := decodeRegister(data[1:])
+			if err != nil {
+				mem.Close()
+				return nil, fmt.Errorf("fanstore: rank %d registration: %w", src, err)
+			}
+			for _, rec := range recs {
+				e.coord.registry[rec.gid] = rec
+			}
+			for i := range metas {
+				n.addMeta(metas[i])
+			}
+			seen++
+		}
+		table := e.encodeTable()
+		for r := 1; r < members; r++ {
+			if err := comm.Send(r, tagCtrl, table); err != nil {
+				mem.Close()
+				return nil, fmt.Errorf("fanstore: elastic mount: %w", err)
+			}
+		}
+		e.wg.Add(1)
+		go e.ctrlLoop(deferred)
+	} else {
+		reg := encodeRegister(mem.ID(), localParts)
+		if err := comm.Send(coordRank, tagCtrl, reg); err != nil {
+			mem.Close()
+			return nil, fmt.Errorf("fanstore: elastic mount: %w", err)
+		}
+		data, _, err := comm.Recv(coordRank, tagCtrl)
+		if err != nil || len(data) == 0 || data[0] != ctrlTable {
+			mem.Close()
+			return nil, fmt.Errorf("fanstore: elastic mount: bad table frame (%v)", err)
+		}
+		metas, err := decodeMetas(data[1:])
+		if err != nil {
+			mem.Close()
+			return nil, fmt.Errorf("fanstore: elastic mount: %w", err)
+		}
+		for i := range metas {
+			n.addMeta(metas[i])
+		}
+		e.wg.Add(1)
+		go e.ctrlLoop(nil)
+	}
+
+	n.daemon.Add(1)
+	go n.server.Serve()
+	go n.serveWriteMeta()
+	return n, nil
+}
+
+// JoinCluster admits this rank to a running elastic cluster: membership
+// join, metadata table download, and the triggered delta rebalance. It
+// returns once the rebalance commit lands, so the returned node already
+// owns its share of the partitions and the map version has advanced.
+func JoinCluster(comm *mpi.Comm, coordRank int, opts ElasticOptions) (*Node, error) {
+	mem, err := member.Join(comm, coordRank)
+	if err != nil {
+		return nil, err
+	}
+	joinedVersion := mem.View().Version()
+	n, err := newNode(comm, mem.View(), mem.ID(), true, opts.Options)
+	if err != nil {
+		mem.Close()
+		return nil, err
+	}
+	n.mem = mem
+	e := newElasticCtrl(n, mem, coordRank, opts)
+	n.ectrl = e
+
+	// Announce; the coordinator replies with the table, then plans the
+	// rebalance. The fetch daemon must be serving before the table
+	// arrives — move pulls may target this node immediately after.
+	n.daemon.Add(1)
+	go n.server.Serve()
+	go n.serveWriteMeta()
+
+	var req [5]byte
+	req[0] = ctrlJoin
+	binary.LittleEndian.PutUint32(req[1:], uint32(mem.ID()))
+	if err := comm.Send(coordRank, tagCtrl, req[:]); err != nil {
+		mem.Close()
+		return nil, fmt.Errorf("fanstore: join: %w", err)
+	}
+	data, _, err := comm.Recv(coordRank, tagCtrl)
+	if err != nil || len(data) == 0 || data[0] != ctrlTable {
+		mem.Close()
+		return nil, fmt.Errorf("fanstore: join: bad table frame (%v)", err)
+	}
+	metas, err := decodeMetas(data[1:])
+	if err != nil {
+		mem.Close()
+		return nil, fmt.Errorf("fanstore: join: %w", err)
+	}
+	for i := range metas {
+		n.addMeta(metas[i])
+	}
+	wait := e.addWaiter(joinedVersion + 1)
+	e.wg.Add(1)
+	go e.ctrlLoop(nil)
+
+	// The join rebalance always ends in a commit (even a no-move one),
+	// whose version is strictly above the admission version.
+	select {
+	case <-wait:
+	case <-time.After(60 * time.Second):
+		return nil, fmt.Errorf("fanstore: join: rebalance commit did not arrive")
+	}
+	return n, nil
+}
+
+// addWaiter registers a channel closed by the first commit at or above
+// minVersion (checked against already-current state too).
+func (e *elasticCtrl) addWaiter(minVersion uint64) chan struct{} {
+	ch := make(chan struct{})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n.view.Version() >= minVersion {
+		close(ch)
+		return ch
+	}
+	e.waiters = append(e.waiters, &commitWaiter{minVersion: minVersion, ch: ch})
+	return ch
+}
+
+func (e *elasticCtrl) signalWaiters() {
+	v := e.n.view.Version()
+	e.mu.Lock()
+	kept := e.waiters[:0]
+	for _, w := range e.waiters {
+		if v >= w.minVersion {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	e.waiters = kept
+	e.mu.Unlock()
+}
+
+type ctrlFrame struct {
+	data []byte
+	src  int
+}
+
+// ctrlLoop is the per-node control listener. On the coordinator it is
+// also the rebalance state machine: joins and leaves arrive here, move
+// acks advance the active job, and the commit is cut here, so every map
+// mutation observed by the data plane is totally ordered.
+func (e *elasticCtrl) ctrlLoop(deferred []ctrlFrame) {
+	defer e.wg.Done()
+	for _, f := range deferred {
+		if e.handleCtrl(f.data, f.src) {
+			return
+		}
+	}
+	for {
+		data, src, err := e.n.comm.Recv(mpi.AnySource, tagCtrl)
+		if err != nil {
+			return
+		}
+		if e.handleCtrl(data, src) {
+			return
+		}
+	}
+}
+
+// handleCtrl dispatches one control frame; true means the loop is done.
+func (e *elasticCtrl) handleCtrl(data []byte, src int) bool {
+	if len(data) == 0 {
+		return true // poison pill (leaver teardown)
+	}
+	switch data[0] {
+	case ctrlJoin:
+		if e.coord == nil || len(data) < 5 {
+			return false
+		}
+		id := member.NodeID(int32(binary.LittleEndian.Uint32(data[1:])))
+		_ = e.n.comm.Send(src, tagCtrl, e.encodeTable())
+		e.enqueueJob(&rebalanceJob{leaver: member.NoNode, leaveRank: -1}, id)
+	case ctrlLeave:
+		if e.coord == nil || len(data) < 5 {
+			return false
+		}
+		id := member.NodeID(int32(binary.LittleEndian.Uint32(data[1:])))
+		e.enqueueJob(&rebalanceJob{leaver: id, leaveRank: src}, member.NoNode)
+	case ctrlMove:
+		if len(data) < 13 {
+			return false
+		}
+		gid := binary.LittleEndian.Uint64(data[1:])
+		from := member.NodeID(int32(binary.LittleEndian.Uint32(data[9:])))
+		go e.pullPartition(gid, from)
+	case ctrlMoved:
+		if e.coord == nil || len(data) < 10 {
+			return false
+		}
+		gid := binary.LittleEndian.Uint64(data[1:])
+		ok := data[9] == 1
+		e.moveFinished(gid, ok)
+	case ctrlCommit:
+		cm, transfers, metas, err := decodeCommit(data[1:])
+		if err == nil {
+			e.applyCommit(cm, transfers, metas)
+		}
+	case ctrlBye:
+		if e.coord == nil || len(data) < 5 {
+			return false
+		}
+		id := member.NodeID(int32(binary.LittleEndian.Uint32(data[1:])))
+		return e.noteBye(id)
+	case ctrlByeAck:
+		close(e.byeAck)
+		return true
+	case ctrlDrained:
+		close(e.drained)
+	}
+	return false
+}
+
+// enqueueJob starts (or queues) a rebalance. joiner is the node that
+// triggered it for a join, NoNode for a leave.
+func (e *elasticCtrl) enqueueJob(job *rebalanceJob, joiner member.NodeID) {
+	e.mu.Lock()
+	if e.coord.active != nil {
+		e.coord.queue = append(e.coord.queue, job)
+		e.mu.Unlock()
+		return
+	}
+	e.coord.active = job
+	e.mu.Unlock()
+	e.startJob(job)
+}
+
+// startJob plans the active rebalance and fires its transfers (or
+// commits straight away when nothing moves).
+func (e *elasticCtrl) startJob(job *rebalanceJob) {
+	transfers := e.planRebalance(job.leaver)
+	e.mu.Lock()
+	job.transfers = make(map[uint64]transfer, len(transfers))
+	for _, tr := range transfers {
+		job.transfers[tr.gid] = tr
+	}
+	e.rebalPending.Set(int64(len(transfers)))
+	e.mu.Unlock()
+	if len(transfers) == 0 {
+		e.commitJob(job)
+		return
+	}
+	m := e.n.view.Map()
+	for _, tr := range transfers {
+		rank, err := m.RankOf(tr.to)
+		if err != nil {
+			// Destination vanished between planning and dispatch: treat
+			// the transfer as failed; the partition keeps its old owner.
+			e.moveFinished(tr.gid, false)
+			continue
+		}
+		frame := make([]byte, 13)
+		frame[0] = ctrlMove
+		binary.LittleEndian.PutUint64(frame[1:], tr.gid)
+		binary.LittleEndian.PutUint32(frame[9:], uint32(tr.from))
+		if rank == e.n.comm.Rank() {
+			// The coordinator can be a destination too; pull without a
+			// round trip through its own mailbox.
+			go e.pullPartition(tr.gid, tr.from)
+			continue
+		}
+		if err := e.n.comm.Send(rank, tagCtrl, frame); err != nil {
+			e.moveFinished(tr.gid, false)
+		}
+	}
+}
+
+// planRebalance computes the transfers for the current membership: a
+// minimal-movement delta placement over the registry, excluding leaver
+// from the candidate set. Coordinator-only; called from the ctrl loop.
+func (e *elasticCtrl) planRebalance(leaver member.NodeID) []transfer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	alive := e.n.view.Map().Alive()
+	ids := make([]member.NodeID, 0, len(alive))
+	for _, node := range alive {
+		if leaver != member.NoNode && node.ID == leaver {
+			continue
+		}
+		ids = append(ids, node.ID)
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	idx := make(map[member.NodeID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	gids := make([]uint64, 0, len(e.coord.registry))
+	var total int64
+	for gid, rec := range e.coord.registry {
+		gids = append(gids, gid)
+		total += rec.size
+	}
+	sort.Slice(gids, func(a, b int) bool { return gids[a] < gids[b] })
+	sizes := make([]int64, len(gids))
+	prev := make([]int, len(gids))
+	for i, gid := range gids {
+		rec := e.coord.registry[gid]
+		sizes[i] = rec.size
+		if j, ok := idx[rec.owner]; ok {
+			prev[i] = j
+		} else {
+			prev[i] = -1 // owner left (or is leaving): must be re-placed
+		}
+	}
+	capacity := e.opts.NodeCapacity
+	if capacity <= 0 {
+		capacity = total
+		if capacity == 0 {
+			capacity = 1
+		}
+	}
+	plan, _, err := PlanDelta(sizes, prev, len(ids), capacity)
+	if err != nil {
+		return nil // infeasible: keep current ownership; reads still work
+	}
+	var out []transfer
+	for node := range plan.Own {
+		for _, pi := range plan.Own[node] {
+			rec := e.coord.registry[gids[pi]]
+			if rec.owner != ids[node] {
+				out = append(out, transfer{gid: gids[pi], from: rec.owner, to: ids[node]})
+			}
+		}
+	}
+	return out
+}
+
+// pullPartition is the destination side of one transfer: fetch the blob
+// from the old owner over the ordinary fetch rpc plane, load it, and ack
+// the coordinator. Runs on its own goroutine so the ctrl listener stays
+// responsive.
+func (e *elasticCtrl) pullPartition(gid uint64, from member.NodeID) {
+	ok := false
+	if rank, err := e.n.view.Resolve(from); err == nil {
+		var req [9]byte
+		req[0] = opFetchPart
+		binary.LittleEndian.PutUint64(req[1:], gid)
+		if blob, err := e.n.client.Call(rank, req[:]); err == nil {
+			// The rpc frame is receiver-owned; the backend may alias it.
+			if _, err := e.n.loadPartitionGID(gid, blob); err == nil {
+				e.rebalBytes.Add(int64(len(blob)))
+				ok = true
+			}
+		}
+	}
+	frame := make([]byte, 10)
+	frame[0] = ctrlMoved
+	binary.LittleEndian.PutUint64(frame[1:], gid)
+	if ok {
+		frame[9] = 1
+	}
+	if e.coordRank == e.n.comm.Rank() {
+		e.moveFinished(gid, ok)
+		return
+	}
+	_ = e.n.comm.Send(e.coordRank, tagCtrl, frame)
+}
+
+// moveFinished records one transfer ack; the last one cuts the commit.
+func (e *elasticCtrl) moveFinished(gid uint64, ok bool) {
+	e.mu.Lock()
+	job := e.coord.active
+	if job == nil {
+		e.mu.Unlock()
+		return
+	}
+	tr, pending := job.transfers[gid]
+	if !pending {
+		e.mu.Unlock()
+		return
+	}
+	delete(job.transfers, gid)
+	if ok {
+		job.done = append(job.done, tr)
+	}
+	remaining := len(job.transfers)
+	// The gauge moves under the same lock as the transfer set, so a late
+	// ack can never overwrite the terminal zero with a stale count.
+	e.rebalPending.Set(int64(remaining))
+	e.mu.Unlock()
+	if remaining == 0 {
+		e.commitJob(job)
+	}
+}
+
+// commitJob publishes the rebalance: bump the map version, rewrite the
+// moved partitions' ownership under it, apply locally, broadcast to all
+// members, and release the leaver (if any). Then the next queued job
+// starts.
+func (e *elasticCtrl) commitJob(job *rebalanceJob) {
+	cm, err := e.mem.Advance()
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	var moved []FileMeta
+	for _, tr := range job.done {
+		rec := e.coord.registry[tr.gid]
+		if rec == nil {
+			continue
+		}
+		rec.owner = tr.to
+		for i := range rec.metas {
+			rec.metas[i].Owner = int32(tr.to)
+			rec.metas[i].MapVersion = cm.Version
+			rec.metas[i].Replicas = nil // replicas are re-announced, not carried
+		}
+		moved = append(moved, rec.metas...)
+	}
+	frame := encodeCommit(cm, job.done, moved)
+	e.mu.Unlock()
+
+	e.applyCommit(cm, job.done, moved)
+	self := e.n.comm.Rank()
+	for _, node := range cm.Alive() {
+		if node.Rank == self {
+			continue
+		}
+		_ = e.n.comm.Send(node.Rank, tagCtrl, frame)
+	}
+	if job.leaver != member.NoNode && job.leaveRank >= 0 {
+		_ = e.n.comm.Send(job.leaveRank, tagCtrl, []byte{ctrlDrained})
+	}
+
+	e.mu.Lock()
+	e.coord.active = nil
+	var next *rebalanceJob
+	if len(e.coord.queue) > 0 {
+		next = e.coord.queue[0]
+		e.coord.queue = e.coord.queue[1:]
+		e.coord.active = next
+	}
+	e.mu.Unlock()
+	if next != nil {
+		e.startJob(next)
+	}
+}
+
+// applyCommit installs a rebalance commit on this member: newer map,
+// rewritten metadata records, and — when this node was an old owner —
+// the partition drop that completes the handoff. The map is installed
+// first so a reader racing the metadata rewrite fails toward the
+// stale-map retry, not toward a dead route.
+func (e *elasticCtrl) applyCommit(cm *member.ClusterMap, transfers []transfer, metas []FileMeta) {
+	e.n.view.Update(cm)
+	e.n.mapVersion.Set(int64(e.n.view.Version()))
+	for i := range metas {
+		e.n.addMeta(metas[i])
+	}
+	for _, tr := range transfers {
+		if tr.from == e.n.selfID {
+			e.n.dropPartition(tr.gid)
+		}
+	}
+	e.signalWaiters()
+}
+
+// noteBye records a member's shutdown intent; once every alive member
+// has said bye the coordinator acks all of them. Returns true when the
+// coordinator itself is done (acks sent).
+func (e *elasticCtrl) noteBye(id member.NodeID) bool {
+	e.mu.Lock()
+	e.coord.byes[id] = true
+	alive := e.n.view.Map().Alive()
+	all := len(e.coord.byes) >= len(alive)
+	e.mu.Unlock()
+	if !all {
+		return false
+	}
+	self := e.n.comm.Rank()
+	for _, node := range alive {
+		if node.Rank == self {
+			continue
+		}
+		_ = e.n.comm.Send(node.Rank, tagCtrl, []byte{ctrlByeAck})
+	}
+	close(e.byeAck)
+	return true
+}
+
+// closeElastic is the elastic Node.Close: a bye/ack handshake through
+// the coordinator replaces the static barrier (only members may
+// participate, and the world stays up for them), then the local
+// daemons shut down exactly like the static path.
+func (n *Node) closeElastic() error {
+	e := n.ectrl
+	var bye [5]byte
+	bye[0] = ctrlBye
+	binary.LittleEndian.PutUint32(bye[1:], uint32(n.selfID))
+	if e.mem.IsCoordinator() {
+		// The coordinator's own bye goes through its ctrl loop like any
+		// other, keeping the all-byes count in one place.
+		_ = n.comm.Send(n.comm.Rank(), tagCtrl, bye[:])
+	} else {
+		_ = n.comm.Send(e.coordRank, tagCtrl, bye[:])
+	}
+	select {
+	case <-e.byeAck:
+	case <-time.After(60 * time.Second):
+		// A peer died without saying bye; shut down anyway.
+	}
+	e.wg.Wait()
+	e.mem.Close()
+	n.server.Stop()
+	_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
+	n.daemon.Wait()
+	n.decode.Close()
+	return n.backend.Close()
+}
+
+// LeaveCluster drains this node out of the cluster and shuts it down:
+// the coordinator re-places its partitions on the survivors (reads keep
+// being served here until the commit), then the node leaves the map and
+// closes locally. The remaining members keep running.
+func (n *Node) LeaveCluster() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	e := n.ectrl
+	if e == nil {
+		return fmt.Errorf("fanstore: LeaveCluster on a static mount")
+	}
+	if e.mem.IsCoordinator() {
+		n.closed.Store(false)
+		return fmt.Errorf("fanstore: the coordinator cannot leave; Close the cluster instead")
+	}
+	var req [5]byte
+	req[0] = ctrlLeave
+	binary.LittleEndian.PutUint32(req[1:], uint32(n.selfID))
+	if err := n.comm.Send(e.coordRank, tagCtrl, req[:]); err != nil {
+		return fmt.Errorf("fanstore: leave: %w", err)
+	}
+	select {
+	case <-e.drained:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("fanstore: leave: drain did not complete")
+	}
+	if err := e.mem.Leave(); err != nil {
+		return err
+	}
+	// Unblock the ctrl loop (it has no ByeAck coming) and tear down.
+	_ = n.comm.Send(n.comm.Rank(), tagCtrl, nil)
+	e.wg.Wait()
+	n.server.Stop()
+	_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
+	n.daemon.Wait()
+	n.decode.Close()
+	return n.backend.Close()
+}
+
+// RebalancePending reports the coordinator's outstanding transfer count
+// (0 on other members).
+func (n *Node) RebalancePending() int64 {
+	if n.ectrl == nil {
+		return 0
+	}
+	return n.ectrl.rebalPending.Value()
+}
+
+// RebalancedBytes reports the partition bytes this node has pulled in
+// rebalances.
+func (n *Node) RebalancedBytes() int64 {
+	if n.ectrl == nil {
+		return 0
+	}
+	return n.ectrl.rebalBytes.Value()
+}
+
+// encodeTable frames the full metadata table (coordinator's view).
+func (e *elasticCtrl) encodeTable() []byte {
+	e.n.mu.RLock()
+	metas := make([]FileMeta, 0, len(e.n.meta))
+	for _, m := range e.n.meta {
+		metas = append(metas, *m)
+	}
+	e.n.mu.RUnlock()
+	return append([]byte{ctrlTable}, encodeMetas(metas)...)
+}
+
+// encodeRegister frames a member's partition inventory:
+//
+//	u8 op | u32 nodeID | u32 nParts | nParts x (u64 gid | u64 size |
+//	u32 metaLen | encodeMetas) — per-part metas keep the coordinator's
+//	registry able to rewrite ownership at commit time.
+func encodeRegister(id member.NodeID, parts []*partRec) []byte {
+	out := []byte{ctrlRegister}
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(id))
+	out = append(out, b[:4]...)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(parts)))
+	out = append(out, b[:4]...)
+	for _, rec := range parts {
+		binary.LittleEndian.PutUint64(b[:], rec.gid)
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], uint64(rec.size))
+		out = append(out, b[:]...)
+		enc := encodeMetas(rec.metas)
+		binary.LittleEndian.PutUint32(b[:4], uint32(len(enc)))
+		out = append(out, b[:4]...)
+		out = append(out, enc...)
+	}
+	return out
+}
+
+func decodeRegister(src []byte) ([]*partRec, []FileMeta, error) {
+	if len(src) < 8 {
+		return nil, nil, errors.New("fanstore: register frame truncated")
+	}
+	id := member.NodeID(int32(binary.LittleEndian.Uint32(src)))
+	nParts := int(binary.LittleEndian.Uint32(src[4:]))
+	off := 8
+	recs := make([]*partRec, 0, nParts)
+	var all []FileMeta
+	for i := 0; i < nParts; i++ {
+		if off+20 > len(src) {
+			return nil, nil, errors.New("fanstore: register frame truncated")
+		}
+		gid := binary.LittleEndian.Uint64(src[off:])
+		size := int64(binary.LittleEndian.Uint64(src[off+8:]))
+		ml := int(binary.LittleEndian.Uint32(src[off+16:]))
+		off += 20
+		if off+ml > len(src) {
+			return nil, nil, errors.New("fanstore: register frame truncated")
+		}
+		metas, err := decodeMetas(src[off : off+ml])
+		if err != nil {
+			return nil, nil, err
+		}
+		off += ml
+		recs = append(recs, &partRec{gid: gid, size: size, owner: id, metas: metas})
+		all = append(all, metas...)
+	}
+	return recs, all, nil
+}
+
+// encodeCommit frames a rebalance commit:
+//
+//	u8 op | u32 mapLen | map | u32 nTransfers |
+//	nTransfers x (u64 gid | u32 from | u32 to) | encodeMetas(moved)
+func encodeCommit(cm *member.ClusterMap, transfers []transfer, moved []FileMeta) []byte {
+	out := []byte{ctrlCommit}
+	var b [8]byte
+	mapEnc := cm.Encode()
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(mapEnc)))
+	out = append(out, b[:4]...)
+	out = append(out, mapEnc...)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(transfers)))
+	out = append(out, b[:4]...)
+	for _, tr := range transfers {
+		binary.LittleEndian.PutUint64(b[:], tr.gid)
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint32(b[:4], uint32(tr.from))
+		out = append(out, b[:4]...)
+		binary.LittleEndian.PutUint32(b[:4], uint32(tr.to))
+		out = append(out, b[:4]...)
+	}
+	return append(out, encodeMetas(moved)...)
+}
+
+func decodeCommit(src []byte) (*member.ClusterMap, []transfer, []FileMeta, error) {
+	if len(src) < 4 {
+		return nil, nil, nil, errors.New("fanstore: commit frame truncated")
+	}
+	ml := int(binary.LittleEndian.Uint32(src))
+	off := 4
+	if off+ml+4 > len(src) {
+		return nil, nil, nil, errors.New("fanstore: commit frame truncated")
+	}
+	cm, err := member.DecodeMap(src[off : off+ml])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	off += ml
+	nt := int(binary.LittleEndian.Uint32(src[off:]))
+	off += 4
+	if nt > (len(src)-off)/16 {
+		return nil, nil, nil, errors.New("fanstore: commit frame truncated")
+	}
+	transfers := make([]transfer, 0, nt)
+	for i := 0; i < nt; i++ {
+		transfers = append(transfers, transfer{
+			gid:  binary.LittleEndian.Uint64(src[off:]),
+			from: member.NodeID(int32(binary.LittleEndian.Uint32(src[off+8:]))),
+			to:   member.NodeID(int32(binary.LittleEndian.Uint32(src[off+12:]))),
+		})
+		off += 16
+	}
+	metas, err := decodeMetas(src[off:])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cm, transfers, metas, nil
+}

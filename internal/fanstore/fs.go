@@ -227,11 +227,12 @@ func (n *Node) seal(path string, data []byte) error {
 		data = []byte{}
 	}
 	m := FileMeta{
-		Path:    path,
-		Size:    int64(len(data)),
-		Mode:    0o644,
-		Owner:   int32(n.comm.Rank()),
-		Written: true,
+		Path:       path,
+		Size:       int64(len(data)),
+		Mode:       0o644,
+		Owner:      int32(n.selfID),
+		Written:    true,
+		MapVersion: n.view.Version(),
 	}
 	n.mu.Lock()
 	n.writes[path] = data
@@ -245,11 +246,21 @@ func (n *Node) seal(path string, data []byte) error {
 }
 
 // metaHome maps a written file's path to the rank responsible for its
-// metadata record.
+// metadata record. On a static mount every slot is a member, so the
+// hash spans the whole world; an elastic mount hashes over the alive
+// members of the current map, so a record is never homed on an empty
+// slot or a departed node.
 func (n *Node) metaHome(path string) int {
 	h := fnv.New32a()
 	h.Write([]byte(path))
-	return int(h.Sum32() % uint32(n.comm.Size()))
+	if !n.elastic {
+		return int(h.Sum32() % uint32(n.comm.Size()))
+	}
+	alive := n.view.Map().Alive()
+	if len(alive) == 0 {
+		return n.comm.Rank()
+	}
+	return alive[h.Sum32()%uint32(len(alive))].Rank
 }
 
 // Stat returns file attributes from the in-RAM table — no network or

@@ -19,14 +19,21 @@ type FileMeta struct {
 	MTime        int64 // Unix nanoseconds
 	CRC32        uint32
 	CompressorID uint16
-	Owner        int32 // rank holding the compressed bytes
+	Owner        int32 // node ID holding the compressed bytes
 	Written      bool  // produced by the write path, not the packed dataset
 
-	// Replicas lists extra ranks whose backend also holds the compressed
-	// object (ring replication, §V-D). It is populated locally from the
-	// replica announcements exchanged during Mount — not serialized by
-	// encodeMetas — and turns replicas from passive local copies into
-	// alternative fetch targets (see fetchRemote's routing).
+	// MapVersion is the cluster-map version the Owner/Replicas assignment
+	// was planned under. A reader that resolves Owner against a different
+	// map version treats the route as stale and refreshes before failing
+	// over (see fetchRemote). Static mounts stamp version 1, the
+	// member.StaticMap version, so the check degenerates to a no-op.
+	MapVersion uint64
+
+	// Replicas lists extra node IDs whose backend also holds the
+	// compressed object (ring replication, §V-D). Populated from the
+	// replica announcements exchanged during Mount and carried by
+	// encodeMetas, so a rebalance commit ships the full routing record —
+	// replicas are alternative fetch targets (see fetchRemote's routing).
 	Replicas []int32
 }
 
@@ -34,7 +41,7 @@ type FileMeta struct {
 func encodeMetas(metas []FileMeta) []byte {
 	size := 4
 	for i := range metas {
-		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1
+		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 1 + 4*len(metas[i].Replicas)
 	}
 	out := make([]byte, 0, size)
 	var b [8]byte
@@ -62,6 +69,13 @@ func encodeMetas(metas []FileMeta) []byte {
 		} else {
 			out = append(out, 0)
 		}
+		binary.LittleEndian.PutUint64(b[:], m.MapVersion)
+		out = append(out, b[:]...)
+		out = append(out, byte(len(m.Replicas)))
+		for _, r := range m.Replicas {
+			binary.LittleEndian.PutUint32(b[:4], uint32(r))
+			out = append(out, b[:4]...)
+		}
 	}
 	return out
 }
@@ -74,7 +88,7 @@ func decodeMetas(src []byte) ([]FileMeta, error) {
 	off := 4
 	// The declared count is untrusted; bound the preallocation by what
 	// the frame could physically hold.
-	const fixed = 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1
+	const fixed = 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 1
 	out := make([]FileMeta, 0, minInt(n, (len(src)-off)/fixed))
 	for i := 0; i < n; i++ {
 		if off+2 > len(src) {
@@ -101,6 +115,20 @@ func decodeMetas(src []byte) ([]FileMeta, error) {
 		off += 4
 		m.Written = src[off] == 1
 		off++
+		m.MapVersion = binary.LittleEndian.Uint64(src[off:])
+		off += 8
+		nr := int(src[off])
+		off++
+		if off+4*nr > len(src) {
+			return nil, fmt.Errorf("fanstore: metadata entry %d truncated", i)
+		}
+		if nr > 0 {
+			m.Replicas = make([]int32, nr)
+			for j := 0; j < nr; j++ {
+				m.Replicas[j] = int32(binary.LittleEndian.Uint32(src[off:]))
+				off += 4
+			}
+		}
 		out = append(out, m)
 	}
 	return out, nil

@@ -127,6 +127,225 @@ func TestPlanPlacementQuick(t *testing.T) {
 	}
 }
 
+func TestPlanPlacementSingleNode(t *testing.T) {
+	sizes := []int64{30, 20, 10}
+	p, err := PlanPlacement(sizes, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Own[0]) != 3 {
+		t.Fatalf("single node owns %v", p.Own[0])
+	}
+	if len(p.Replicas[0]) != 0 {
+		t.Fatalf("single node self-replicated: %v", p.Replicas[0])
+	}
+}
+
+func TestPlanPlacementAllEqualSizes(t *testing.T) {
+	sizes := make([]int64, 12)
+	for i := range sizes {
+		sizes[i] = 25
+	}
+	p, err := PlanPlacement(sizes, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range p.Own {
+		if len(p.Own[n]) != 3 {
+			t.Fatalf("node %d owns %d equal partitions, want 3", n, len(p.Own[n]))
+		}
+	}
+}
+
+func TestPlanPlacementCapacityExactlyTotal(t *testing.T) {
+	// Aggregate capacity == total bytes: feasible only with perfect
+	// packing, which equal sizes guarantee. No slack, so no replicas.
+	sizes := []int64{50, 50, 50, 50}
+	p, err := PlanPlacement(sizes, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range p.Own {
+		var used int64
+		for _, pi := range p.Own[n] {
+			used += sizes[pi]
+		}
+		if used != 100 {
+			t.Fatalf("node %d packed %d of 100", n, used)
+		}
+		if len(p.Replicas[n]) != 0 {
+			t.Fatalf("node %d replicated with zero slack", n)
+		}
+	}
+}
+
+// movedBytes sums the sizes of partitions whose owner differs from prev.
+func movedBytes(sizes []int64, prev []int, p *Placement) int64 {
+	owner := make([]int, len(sizes))
+	for n := range p.Own {
+		for _, pi := range p.Own[n] {
+			owner[pi] = n
+		}
+	}
+	var moved int64
+	for pi := range sizes {
+		if prev[pi] >= 0 && owner[pi] != prev[pi] {
+			moved += sizes[pi]
+		}
+	}
+	return moved
+}
+
+func TestPlanDeltaMinimalMovement(t *testing.T) {
+	// A balanced 3-node cluster grows to 4: the delta plan must move only
+	// what rebalancing toward the empty node requires — never more than a
+	// from-scratch re-place would shuffle.
+	rng := rand.New(rand.NewSource(9))
+	sizes := make([]int64, 24)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(900) + 100)
+	}
+	const capacity = 1 << 14
+	base, err := PlanPlacement(sizes, 3, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]int, len(sizes))
+	for n := range base.Own {
+		for _, pi := range base.Own[n] {
+			prev[pi] = n
+		}
+	}
+
+	delta, moves, err := PlanDelta(sizes, prev, 4, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moves report exactly the owner changes.
+	var movedViaMoves int64
+	for _, mv := range moves {
+		if mv.From == mv.To {
+			t.Fatalf("no-op move %+v", mv)
+		}
+		if prev[mv.Part] != mv.From {
+			t.Fatalf("move %+v disagrees with prev owner %d", mv, prev[mv.Part])
+		}
+		movedViaMoves += sizes[mv.Part]
+	}
+	deltaMoved := movedBytes(sizes, prev, delta)
+	if movedViaMoves != deltaMoved {
+		t.Fatalf("moves total %d, placement diff %d", movedViaMoves, deltaMoved)
+	}
+	// The new node must receive data (the whole point of the join)...
+	if deltaMoved == 0 {
+		t.Fatal("join rebalance moved nothing")
+	}
+	// ...and the minimal-movement property must hold vs. a naive re-place.
+	naive, err := PlanPlacement(sizes, 4, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naiveMoved := movedBytes(sizes, prev, naive); deltaMoved > naiveMoved {
+		t.Fatalf("delta moved %d > naive re-place %d", deltaMoved, naiveMoved)
+	}
+	// Every partition still owned exactly once, capacity respected.
+	seen := map[int]bool{}
+	for n := range delta.Own {
+		var used int64
+		for _, pi := range delta.Own[n] {
+			if seen[pi] {
+				t.Fatalf("partition %d owned twice", pi)
+			}
+			seen[pi] = true
+			used += sizes[pi]
+		}
+		for _, pi := range delta.Replicas[n] {
+			used += sizes[pi]
+		}
+		if used > capacity {
+			t.Fatalf("node %d over capacity: %d", n, used)
+		}
+	}
+	if len(seen) != len(sizes) {
+		t.Fatalf("owned %d of %d", len(seen), len(sizes))
+	}
+}
+
+func TestPlanDeltaJoinMovesOnlyToJoiner(t *testing.T) {
+	// Unequal partition sizes, 2 nodes grow to 3: every planned move must
+	// target the joiner — the online handoff's re-routing invariant is
+	// that a record either keeps its owner or moves to the node that just
+	// joined, never between survivors.
+	sizes := []int64{53, 62, 56, 60, 11, 7}
+	prev := []int{0, 0, 1, 1, 0, 1}
+	_, moves, err := PlanDelta(sizes, prev, 3, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("join rebalance moved nothing")
+	}
+	var total, moved int64
+	for _, s := range sizes {
+		total += s
+	}
+	for _, mv := range moves {
+		if mv.To != 2 {
+			t.Fatalf("move %+v targets a survivor, not the joiner", mv)
+		}
+		moved += sizes[mv.Part]
+	}
+	// The joiner fills toward — never past — the mean share.
+	if mean := (total + 2) / 3; moved > mean {
+		t.Fatalf("joiner received %d, past the mean share %d", moved, mean)
+	}
+}
+
+func TestPlanDeltaNoChangeIsFree(t *testing.T) {
+	// Same node count, everything fits where it was: zero moves.
+	sizes := []int64{40, 30, 20, 10}
+	base, err := PlanPlacement(sizes, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]int, len(sizes))
+	for n := range base.Own {
+		for _, pi := range base.Own[n] {
+			prev[pi] = n
+		}
+	}
+	_, moves, err := PlanDelta(sizes, prev, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("steady-state delta moved %v", moves)
+	}
+}
+
+func TestPlanDeltaDepartedOwner(t *testing.T) {
+	// prev owner index beyond the node count (a departed node): its
+	// partitions are re-placed, the others stay put.
+	sizes := []int64{50, 50, 50}
+	prev := []int{0, 1, 2} // node 2 left; plan over 2 nodes
+	p, moves, err := PlanDelta(sizes, prev, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Part != 2 || moves[0].From != 2 {
+		t.Fatalf("moves = %+v", moves)
+	}
+	owner := make([]int, 3)
+	for n := range p.Own {
+		for _, pi := range p.Own[n] {
+			owner[pi] = n
+		}
+	}
+	if owner[0] != 0 || owner[1] != 1 {
+		t.Fatalf("survivors reshuffled: %v", owner)
+	}
+}
+
 func TestNodesNeeded(t *testing.T) {
 	// The §I example: 140 GB over 60 GB nodes needs 3.
 	sizes := make([]int64, 14)

@@ -156,6 +156,17 @@ func (r *ClusterReport) Render(w io.Writer) {
 		r.counterTotal("fanstore.bytes.remote"),
 		r.counterTotal("fanstore.failovers"),
 		r.counterTotal("fanstore.fetch.batched"))
+	// Elastic clusters only: rebalance progress since mount. The map
+	// version gauge merges by max, so the line shows the newest commit
+	// any rank has applied; pending sums the coordinator's outstanding
+	// transfers (zero once every handoff committed).
+	if moved := r.counterTotal("rebalance.bytes.moved"); moved > 0 {
+		fmt.Fprintf(w, "rebalance: %d B moved  pending=%d  map version=%d  stale-map refreshes=%d\n",
+			moved,
+			r.Merged.Gauges["rebalance.partitions.pending"].Value,
+			r.Merged.Gauges["member.map.version"].Max,
+			r.counterTotal("fanstore.map.refreshes"))
+	}
 	var spread []string
 	for rank, s := range r.PerRank {
 		spread = append(spread, fmt.Sprintf("r%d=%v", rank, s.Histograms[r.Options.StragglerMetric].P99))

@@ -37,6 +37,7 @@ import (
 
 	"fanstore/internal/codec"
 	"fanstore/internal/decomp"
+	"fanstore/internal/member"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
 	"fanstore/internal/pack"
@@ -49,11 +50,14 @@ const (
 	tagFetch     = 1000 // fetch request: rpc frame carrying an op + body
 	tagWriteMeta = 1001 // write metadata forward: encoded []FileMeta
 	tagRing      = 1002 // ring replication of extra partitions
+	tagCtrl      = 1003 // elastic control plane: join/rebalance/shutdown (elastic.go)
 	tagRespBase  = 1 << 20
 )
 
-// Fetch request ops, the first byte of every tagFetch payload. Both ops
-// are answered by the same daemon worker pool.
+// Fetch request ops, the first byte of every tagFetch payload. All ops
+// are answered by the same daemon worker pool — rebalance partition
+// pulls deliberately share it with reads, so a handoff streams while
+// the cluster keeps serving.
 const (
 	// opFetchOne requests one object; the body is the path, the response
 	// payload is [u16 compressorID][compressed bytes].
@@ -63,6 +67,21 @@ const (
 	// OK payload shaped like an opFetchOne response. One round trip
 	// carries the whole look-ahead window.
 	opFetchMany = byte(1)
+	// opFetchOneV is the elastic opFetchOne: the body is
+	// [u64 mapVersion][path]. A server missing the object answers the
+	// stale status instead of not-found when its map version disagrees
+	// with the caller's — "I don't have it, and one of us is routing on
+	// an old map" — so the caller refreshes instead of burning failovers.
+	opFetchOneV = byte(2)
+	// opFetchPart requests a whole partition blob by its global id
+	// ([u64 gid]) — the rebalance transfer: the new owner pulls the blob
+	// from the old owner over the ordinary fetch pool while the old
+	// owner keeps serving its objects until the handoff commits.
+	opFetchPart = byte(3)
+	// opMetaSync requests one path's current metadata record from the
+	// coordinator (the stale-map refresh's metadata half); the response
+	// is encodeMetas of zero or one record.
+	opMetaSync = byte(4)
 )
 
 // batchGetConcurrency bounds concurrent backend reads inside one
@@ -239,11 +258,26 @@ type Node struct {
 	backend Backend
 	decode  *decomp.Pool // shared decode workers (opens > prefetch)
 
+	// Elastic identity. In a static Mount the view is the identity
+	// StaticMap (node ID i == rank i, version 1) and every membership
+	// code path degenerates to the fixed-world behaviour; an elastic
+	// mount (elastic.go) wires a live view fed by the coordinator.
+	view    *member.View
+	selfID  member.NodeID
+	elastic bool
+	mem     *member.Membership // nil on static mounts
+	ectrl   *elasticCtrl       // elastic control plane; nil on static mounts
+
 	mu   sync.RWMutex
 	meta map[string]*FileMeta
 	dirs *dirIndex
 	// writes holds sealed output files (uncompressed, write-once).
 	writes map[string][]byte
+	// parts tracks the loaded partition blobs by global id for rebalance
+	// transfers (opFetchPart). Only elastic mounts populate it — static
+	// mounts never hand partitions off, and not retaining the blobs
+	// keeps the spill backend's RAM profile unchanged.
+	parts map[uint64]*nodePart
 
 	// inflight deduplicates concurrent producers of the same not-yet-
 	// cached file — demand opens and prefetch staging alike: one leader
@@ -271,6 +305,8 @@ type Node struct {
 	bytesRead, remoteBytes                 *metrics.Counter
 	batchedFetches                         *metrics.Counter
 	fetchCoalesced, prefetchSuppressed     *metrics.Counter
+	mapRefreshes                           *metrics.Counter
+	mapVersion                             *metrics.Gauge
 
 	openHist       *metrics.Histogram // whole open(): lookup + fetch + decompress
 	fetchHist      *metrics.Histogram // remote fetch round trips only
@@ -291,6 +327,8 @@ func (n *Node) instrument() {
 	n.batchedFetches = n.reg.Counter("fanstore.fetch.batched")
 	n.fetchCoalesced = n.reg.Counter("fanstore.fetch.coalesced")
 	n.prefetchSuppressed = n.reg.Counter("fanstore.prefetch.suppressed")
+	n.mapRefreshes = n.reg.Counter("fanstore.map.refreshes")
+	n.mapVersion = n.reg.Gauge("member.map.version")
 	n.openHist = n.reg.Histogram("fanstore.open.latency")
 	n.fetchHist = n.reg.Histogram("fanstore.fetch.latency")
 	n.decompressHist = n.reg.Histogram("fanstore.decompress.latency")
@@ -316,11 +354,11 @@ func (n *Node) Metrics() Metrics {
 	}
 }
 
-// Mount loads this rank's partitions (plus an optional broadcast
-// partition replicated on every rank), exchanges metadata and replica
-// announcements with all peers, and starts the daemon. Every rank of the
-// communicator must call Mount collectively with its own partitions.
-func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node, error) {
+// newNode builds a Node's data-path machinery — cache, backend, decode
+// pool, rpc server/client, instruments — without any collective traffic.
+// Mount (static) and MountElastic share it; only the view and the
+// metadata exchange differ.
+func newNode(comm *mpi.Comm, view *member.View, selfID member.NodeID, elastic bool, opts Options) (*Node, error) {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 256 << 20
 	}
@@ -351,9 +389,13 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 		cache:      NewCacheShards(opts.CacheBytes, opts.CachePolicy, opts.CacheShards),
 		backend:    backend,
 		decode:     decomp.New(opts.DecodeWorkers, reg),
+		view:       view,
+		selfID:     selfID,
+		elastic:    elastic,
 		meta:       make(map[string]*FileMeta),
 		dirs:       newDirIndex(),
 		writes:     make(map[string][]byte),
+		parts:      make(map[uint64]*nodePart),
 		inflight:   make(map[string]*flight),
 		noCoalesce: opts.DisableCoalescing,
 		batchItems: batchItems,
@@ -361,6 +403,7 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 		tracer:     opts.Tracer,
 	}
 	n.instrument()
+	n.mapVersion.Set(int64(view.Version()))
 	n.cache.instrument(reg, opts.Tracer)
 	n.server = rpc.NewServer(comm, tagFetch, n.handleFetch, rpc.ServerOptions{
 		Workers: opts.FetchWorkers,
@@ -372,6 +415,20 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 		Backoff: opts.FetchBackoff,
 		Metrics: reg,
 	})
+	return n, nil
+}
+
+// Mount loads this rank's partitions (plus an optional broadcast
+// partition replicated on every rank), exchanges metadata and replica
+// announcements with all peers, and starts the daemon. Every rank of the
+// communicator must call Mount collectively with its own partitions.
+func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) (*Node, error) {
+	// The static world is the identity map: node ID i is rank i, and the
+	// version never moves past 1, so stale-map machinery stays inert.
+	n, err := newNode(comm, member.NewView(member.StaticMap(comm.Size())), member.NodeID(comm.Rank()), false, opts)
+	if err != nil {
+		return nil, err
+	}
 
 	// Load assigned partitions into the local backend (§IV-C1).
 	var localMetas []FileMeta
@@ -448,7 +505,8 @@ func Mount(comm *mpi.Comm, partitions [][]byte, broadcast []byte, opts Options) 
 }
 
 // loadPartition parses one partition blob into the backend and returns
-// this rank's metadata records for its entries.
+// this rank's metadata records for its entries, stamped with this node's
+// ID and the current map version.
 func (n *Node) loadPartition(blob []byte) ([]FileMeta, error) {
 	p, err := pack.Parse(blob)
 	if err != nil {
@@ -467,10 +525,50 @@ func (n *Node) loadPartition(blob []byte) ([]FileMeta, error) {
 			MTime:        e.Stat.MTime,
 			CRC32:        e.Stat.CRC32,
 			CompressorID: e.CompressorID,
-			Owner:        int32(n.comm.Rank()),
+			Owner:        int32(n.selfID),
+			MapVersion:   n.view.Version(),
 		})
 	}
 	return metas, nil
+}
+
+// nodePart is one loaded partition blob an elastic node can hand off to
+// a new owner during a rebalance.
+type nodePart struct {
+	gid   uint64 // cluster-wide partition id assigned by the coordinator
+	blob  []byte
+	paths []string // clean paths of the partition's entries
+}
+
+// loadPartitionGID loads a partition and registers it under its global
+// id for rebalance transfers. Elastic mounts only.
+func (n *Node) loadPartitionGID(gid uint64, blob []byte) ([]FileMeta, error) {
+	metas, err := n.loadPartition(blob)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(metas))
+	for i := range metas {
+		paths[i] = metas[i].Path
+	}
+	n.mu.Lock()
+	n.parts[gid] = &nodePart{gid: gid, blob: blob, paths: paths}
+	n.mu.Unlock()
+	return metas, nil
+}
+
+// dropPartition forgets a handed-off partition: the old owner's half of
+// a rebalance commit. The decompressed cache is untouched — entries for
+// the moved paths still hold correct bytes; only the compressed source
+// moves.
+func (n *Node) dropPartition(gid uint64) {
+	n.mu.Lock()
+	p := n.parts[gid]
+	delete(n.parts, gid)
+	n.mu.Unlock()
+	if p != nil {
+		n.backend.Remove(p.paths)
+	}
 }
 
 // addMeta inserts one record into the namespace (last writer wins, which
@@ -514,9 +612,73 @@ func (n *Node) handleFetch(_ int, payload []byte) ([]byte, error) {
 		return n.fetchObject(string(payload[1:]))
 	case opFetchMany:
 		return n.handleFetchMany(payload[1:])
+	case opFetchOneV:
+		return n.handleFetchOneV(payload[1:])
+	case opFetchPart:
+		return n.handleFetchPart(payload[1:])
+	case opMetaSync:
+		return n.handleMetaSync(payload[1:])
 	default:
 		return nil, fmt.Errorf("fanstore: unknown fetch op %d", payload[0])
 	}
+}
+
+// handleFetchOneV answers a versioned fetch. The version check only
+// triggers on a miss: while both sides agree on the map, or the object
+// is simply present, the op behaves exactly like opFetchOne. A miss
+// under version disagreement means the caller routed here on a map that
+// predates (or postdates) a rebalance — the stale status tells it to
+// refresh instead of failing over through dead routes.
+func (n *Node) handleFetchOneV(body []byte) ([]byte, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("fanstore: short versioned fetch frame")
+	}
+	callerVer := binary.LittleEndian.Uint64(body)
+	resp, err := n.fetchObject(string(body[8:]))
+	if err != nil && errors.Is(err, rpc.ErrNotFound) {
+		if have := n.view.Version(); have != callerVer {
+			return nil, fmt.Errorf("%w: have v%d, caller routed on v%d", rpc.ErrStale, have, callerVer)
+		}
+	}
+	return resp, err
+}
+
+// handleFetchPart streams one loaded partition blob to a new owner —
+// the rebalance transfer. It runs on the ordinary fetch worker pool, so
+// handoffs share bandwidth with reads instead of stopping them.
+func (n *Node) handleFetchPart(body []byte) ([]byte, error) {
+	if len(body) != 8 {
+		return nil, fmt.Errorf("fanstore: bad partition fetch frame")
+	}
+	gid := binary.LittleEndian.Uint64(body)
+	n.mu.RLock()
+	p := n.parts[gid]
+	n.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("%w: partition %d", rpc.ErrNotFound, gid)
+	}
+	resp := decomp.GetBuf(len(p.blob))
+	return append(resp, p.blob...), nil
+}
+
+// handleMetaSync answers a single-path metadata refresh from this
+// node's table (callers direct it at the coordinator, whose table is
+// authoritative after a commit). Unknown paths return an empty list,
+// not an error: the caller's next fetch will surface the real miss.
+func (n *Node) handleMetaSync(body []byte) ([]byte, error) {
+	cp := cleanPath(string(body))
+	n.mu.RLock()
+	m, ok := n.meta[cp]
+	var rec FileMeta
+	if ok {
+		rec = *m
+	}
+	n.mu.RUnlock()
+	if !ok {
+		return append(decomp.GetBuf(4), encodeMetas(nil)...), nil
+	}
+	enc := encodeMetas([]FileMeta{rec})
+	return append(decomp.GetBuf(len(enc)), enc...), nil
 }
 
 // fetchObject serves one object's compressed bytes as
@@ -591,20 +753,53 @@ func (n *Node) handleFetchMany(body []byte) ([]byte, error) {
 	return out, nil
 }
 
-// fetchCandidates lists the ranks that can serve m's compressed object,
-// owner first, excluding this rank.
-func (n *Node) fetchCandidates(m *FileMeta) []int {
-	cands := make([]int, 0, 1+len(m.Replicas))
-	self := int32(n.comm.Rank())
+// fetchCandidates lists the node IDs that can serve m's compressed
+// object, owner first, excluding this node. IDs, not ranks: the caller
+// resolves each through the cluster-map view at dial time, so routing
+// survives rank reassignment between a meta read and the fetch.
+func (n *Node) fetchCandidates(m *FileMeta) []member.NodeID {
+	cands := make([]member.NodeID, 0, 1+len(m.Replicas))
+	self := int32(n.selfID)
 	if m.Owner != self {
-		cands = append(cands, int(m.Owner))
+		cands = append(cands, member.NodeID(m.Owner))
 	}
 	for _, r := range m.Replicas {
 		if r != self && r != m.Owner {
-			cands = append(cands, int(r))
+			cands = append(cands, member.NodeID(r))
 		}
 	}
 	return cands
+}
+
+// refreshRoutes is the stale-map recovery path: sync the membership
+// view from the coordinator, pull the path's current metadata record,
+// and return the refreshed record for re-resolution. Static mounts have
+// nothing to refresh and return nil.
+func (n *Node) refreshRoutes(path string) *FileMeta {
+	if !n.elastic || n.mem == nil {
+		return nil
+	}
+	n.mapRefreshes.Inc()
+	if _, err := n.mem.Sync(); err != nil {
+		return nil
+	}
+	n.mapVersion.Set(int64(n.view.Version()))
+	// The coordinator's table is authoritative after a commit; pull the
+	// one record this fetch needs.
+	coord := n.mem.CoordRank()
+	if coord != n.comm.Rank() {
+		req := make([]byte, 1, 1+len(path))
+		req[0] = opMetaSync
+		if resp, err := n.client.Call(coord, append(req, path...)); err == nil {
+			if metas, err := decodeMetas(resp); err == nil && len(metas) == 1 {
+				n.addMeta(metas[0])
+			}
+		}
+	}
+	n.mu.RLock()
+	m := n.meta[cleanPath(path)]
+	n.mu.RUnlock()
+	return m
 }
 
 // fetchRemote retrieves the compressed object for m over the interconnect
@@ -614,45 +809,86 @@ func (n *Node) fetchCandidates(m *FileMeta) []int {
 // candidate, so a lost rank degrades throughput instead of killing opens.
 // The outcome distinguishes a first-candidate success (remote-fetch) from
 // one that needed failover, so the open span carries routing health.
+//
+// On an elastic mount candidates resolve through the cluster-map view,
+// and a version-mismatch answer (rpc.ErrStale, or an unresolvable node
+// ID) triggers a map-and-metadata refresh followed by re-resolution
+// against the refreshed record — not a failover: the object exists, the
+// route was just planned on an old map.
 func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 	start := time.Now()
 	tstart := n.tracer.Begin()
 	outcome := trace.OutcomeRemoteFetch
+	path := m.Path
 	defer func() {
 		n.fetchHist.Observe(time.Since(start))
-		n.tracer.End(trace.OpFetch, m.Path, outcome, tstart)
+		n.tracer.End(trace.OpFetch, path, outcome, tstart)
 	}()
-	cands := n.fetchCandidates(m)
-	if len(cands) == 0 {
-		outcome = trace.OutcomeError
-		return 0, nil, outcome, fmt.Errorf("%w: no remote rank serves %q", ErrRemoteGone, m.Path)
-	}
-	first := int(n.routeSeq.Add(1)) % len(cands)
+	// Two refreshes bound the recovery loop: one covers the common
+	// "commit landed between my meta read and my fetch" race, the second
+	// a commit racing the refresh itself.
+	const maxRefreshes = 2
 	var lastErr error
-	for i := 0; i < len(cands); i++ {
-		dst := cands[(first+i)%len(cands)]
-		req := make([]byte, 1, 1+len(m.Path))
-		req[0] = opFetchOne
-		resp, err := n.client.Call(dst, append(req, m.Path...))
-		if err == nil {
-			if len(resp) < 2 {
-				lastErr = fmt.Errorf("rank %d sent a malformed object frame", dst)
+	for pass := 0; ; pass++ {
+		cands := n.fetchCandidates(m)
+		if len(cands) == 0 {
+			outcome = trace.OutcomeError
+			return 0, nil, outcome, fmt.Errorf("%w: no remote node serves %q", ErrRemoteGone, path)
+		}
+		first := int(n.routeSeq.Add(1)) % len(cands)
+		stale := false
+		aborted := false
+		for i := 0; i < len(cands); i++ {
+			id := cands[(first+i)%len(cands)]
+			dst, err := n.view.Resolve(id)
+			if err != nil {
+				// The meta names a node this map doesn't know (or knows
+				// dead): the record and the map disagree — refresh.
+				lastErr = err
+				stale = true
 				continue
 			}
-			n.remoteBytes.Add(int64(len(resp)))
-			return binary.LittleEndian.Uint16(resp), resp[2:], outcome, nil
+			var req []byte
+			if n.elastic {
+				req = make([]byte, 9, 9+len(path))
+				req[0] = opFetchOneV
+				binary.LittleEndian.PutUint64(req[1:], n.view.Version())
+			} else {
+				req = make([]byte, 1, 1+len(path))
+				req[0] = opFetchOne
+			}
+			resp, err := n.client.Call(dst, append(req, path...))
+			if err == nil {
+				if len(resp) < 2 {
+					lastErr = fmt.Errorf("rank %d sent a malformed object frame", dst)
+					continue
+				}
+				n.remoteBytes.Add(int64(len(resp)))
+				return binary.LittleEndian.Uint16(resp), resp[2:], outcome, nil
+			}
+			lastErr = err
+			if errors.Is(err, mpi.ErrAborted) {
+				aborted = true
+				break // the world is gone; no candidate can answer
+			}
+			if errors.Is(err, rpc.ErrStale) {
+				stale = true
+				continue // a refresh, not a failover, fixes this
+			}
+			if i+1 < len(cands) {
+				n.failovers.Inc()
+				outcome = trace.OutcomeFailover
+			}
 		}
-		lastErr = err
-		if errors.Is(err, mpi.ErrAborted) {
-			break // the world is gone; no candidate can answer
+		if stale && !aborted && pass < maxRefreshes {
+			if fresh := n.refreshRoutes(path); fresh != nil {
+				m = fresh
+				continue
+			}
 		}
-		if i+1 < len(cands) {
-			n.failovers.Inc()
-			outcome = trace.OutcomeFailover
-		}
+		outcome = trace.OutcomeError
+		return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
 	}
-	outcome = trace.OutcomeError
-	return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
 }
 
 // prefetchTarget is one not-yet-staged remote object being walked
@@ -664,8 +900,8 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 type prefetchTarget struct {
 	m      *FileMeta
 	flight *flight
-	cands  []int // candidate ranks in try order
-	next   int   // index into cands of the rank to ask next
+	cands  []member.NodeID // candidate node IDs in try order
+	next   int             // index into cands of the node to ask next
 }
 
 // Prefetch stages an upcoming access window (the sampler's next
@@ -718,7 +954,7 @@ func (n *Node) Prefetch(paths []string) int {
 		// Rotate the starting candidate like fetchRemote does, so
 		// prefetch load also spreads across the owner and its replicas.
 		rot := int(n.routeSeq.Add(1)) % len(cands)
-		ordered := make([]int, 0, len(cands))
+		ordered := make([]member.NodeID, 0, len(cands))
 		for i := range cands {
 			ordered = append(ordered, cands[(rot+i)%len(cands)])
 		}
@@ -729,14 +965,25 @@ func (n *Node) Prefetch(paths []string) int {
 	// a peer could not serve move to their next replica.
 	staged := 0
 	for len(targets) > 0 {
-		groups := make(map[int][]*prefetchTarget)
+		groups := make(map[member.NodeID][]*prefetchTarget)
 		for _, t := range targets {
 			groups[t.cands[t.next]] = append(groups[t.cands[t.next]], t)
 		}
 		var mu sync.Mutex
 		var retry []*prefetchTarget
 		var wg sync.WaitGroup
-		for dst, group := range groups {
+		for id, group := range groups {
+			// Resolve the group's node once per round. An unresolvable ID
+			// (it left, or the map is behind) just moves the group to its
+			// next replica — prefetch is best-effort; the demand path owns
+			// stale-map recovery.
+			dst, err := n.view.Resolve(id)
+			if err != nil {
+				mu.Lock()
+				retry = append(retry, group...)
+				mu.Unlock()
+				continue
+			}
 			wg.Add(1)
 			go func(dst int, group []*prefetchTarget) {
 				defer wg.Done()
@@ -972,6 +1219,12 @@ func (n *Node) Close() error {
 	if n.closed.Swap(true) {
 		return nil
 	}
+	if n.elastic {
+		// An elastic node cannot barrier over the fixed-size world (only
+		// a subset of slots are members); it hands shutdown sequencing to
+		// the coordinator's bye/ack handshake instead.
+		return n.closeElastic()
+	}
 	_ = n.comm.Barrier()
 	// Unblock the daemons unconditionally. On the error path the sends
 	// may fail too, but then the world is aborted and the loops exit on
@@ -1043,6 +1296,18 @@ func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // Rank returns the rank this node runs on.
 func (n *Node) Rank() int { return n.comm.Rank() }
+
+// ID returns this node's stable cluster identity. On a static mount it
+// equals the rank.
+func (n *Node) ID() member.NodeID { return n.selfID }
+
+// View returns the node's cluster-map view (the identity StaticMap on a
+// static mount).
+func (n *Node) View() *member.View { return n.view }
+
+// MapVersion returns the cluster-map version the node currently routes
+// under.
+func (n *Node) MapVersion() uint64 { return n.view.Version() }
 
 // NumFiles reports the number of files in the global namespace.
 func (n *Node) NumFiles() int {

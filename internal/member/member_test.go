@@ -1,0 +1,200 @@
+package member
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fanstore/internal/mpi"
+)
+
+func TestMapEncodeDecodeRoundtrip(t *testing.T) {
+	m := &ClusterMap{Version: 42, Nodes: []Node{
+		{ID: 0, Rank: 0, State: StateAlive},
+		{ID: 3, Rank: 2, State: StateJoining},
+		{ID: 7, Rank: 5, State: StateLeaving},
+		{ID: 9, Rank: 1, State: StateDead},
+	}}
+	got, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || len(got.Nodes) != len(m.Nodes) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, m)
+	}
+	for i, n := range got.Nodes {
+		if n != m.Nodes[i] {
+			t.Fatalf("node %d: %+v vs %+v", i, n, m.Nodes[i])
+		}
+	}
+	if _, err := DecodeMap(m.Encode()[:10]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+func TestRankOfStaleAndDead(t *testing.T) {
+	m := &ClusterMap{Version: 5, Nodes: []Node{
+		{ID: 1, Rank: 0, State: StateAlive},
+		{ID: 2, Rank: 1, State: StateDead},
+	}}
+	if r, err := m.RankOf(1); err != nil || r != 0 {
+		t.Fatalf("RankOf(1) = %d, %v", r, err)
+	}
+	for _, id := range []NodeID{2, 99} {
+		_, err := m.RankOf(id)
+		if !errors.Is(err, ErrStaleMap) {
+			t.Fatalf("RankOf(%d): want ErrStaleMap, got %v", id, err)
+		}
+		var se *StaleMapError
+		if !errors.As(err, &se) || !se.Retryable() || se.Have != 5 {
+			t.Fatalf("RankOf(%d): bad typed error %v", id, err)
+		}
+	}
+}
+
+func TestViewMonotonicUpdate(t *testing.T) {
+	v := NewView(StaticMap(2))
+	if v.Version() != 1 {
+		t.Fatalf("static version %d", v.Version())
+	}
+	if v.Update(&ClusterMap{Version: 1}) {
+		t.Fatal("equal version installed")
+	}
+	if !v.Update(&ClusterMap{Version: 3, Nodes: []Node{{ID: 0, Rank: 0, State: StateAlive}}}) {
+		t.Fatal("newer version rejected")
+	}
+	if v.Update(&ClusterMap{Version: 2}) {
+		t.Fatal("older version installed after newer")
+	}
+	if v.Version() != 3 {
+		t.Fatalf("version %d after updates", v.Version())
+	}
+}
+
+// TestJoinLeaveLifecycle runs a coordinator and three members through
+// join, broadcast convergence, sync, and leave — concurrently, under the
+// race detector in `make ci`.
+func TestJoinLeaveLifecycle(t *testing.T) {
+	const ranks = 4
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			mem := StartCoordinator(c)
+			defer mem.Close()
+			if mem.ID() != 0 || !mem.IsCoordinator() {
+				return fmt.Errorf("coordinator identity wrong: %d", mem.ID())
+			}
+			// Wait until every member has joined and one has left.
+			for {
+				m, err := mem.Sync()
+				if err != nil {
+					return err
+				}
+				if m.Version >= 5 && len(m.Alive()) == ranks-1 {
+					break
+				}
+			}
+			// Placement-commit bump: version advances with no member change.
+			before := mem.View().Version()
+			cm, err := mem.Advance()
+			if err != nil {
+				return err
+			}
+			if cm.Version != before+1 {
+				return fmt.Errorf("advance: %d -> %d", before, cm.Version)
+			}
+			return nil
+		}
+		mem, err := Join(c, 0)
+		if err != nil {
+			return err
+		}
+		if mem.ID() == 0 {
+			return fmt.Errorf("member got coordinator id")
+		}
+		if _, ok := mem.View().Map().Lookup(mem.ID()); !ok {
+			return fmt.Errorf("own id %d missing from joined map", mem.ID())
+		}
+		if rank, err := mem.Transport().Resolve(0); err != nil || rank != 0 {
+			return fmt.Errorf("resolve coordinator: %d, %v", rank, err)
+		}
+		if c.Rank() == 3 {
+			// Join then immediately leave: survivors must converge on a
+			// map without this node.
+			if err := mem.Leave(); err != nil {
+				return err
+			}
+			if _, err := mem.View().Resolve(mem.ID()); !errors.Is(err, ErrStaleMap) {
+				return fmt.Errorf("left node still resolves")
+			}
+			return nil
+		}
+		defer mem.Close()
+		// Converge: broadcasts must eventually show 3 alive members
+		// (coordinator + ranks 1, 2) once rank 3 left. Sync as fallback
+		// since broadcast order vs. our join is not deterministic.
+		for {
+			m, err := mem.Sync()
+			if err != nil {
+				return err
+			}
+			if m.Version >= 5 && len(m.Alive()) == ranks-1 {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentJoins hammers the coordinator with simultaneous joins:
+// IDs must be unique and the final map must hold everyone.
+func TestConcurrentJoins(t *testing.T) {
+	const ranks = 6
+	var mu sync.Mutex
+	ids := map[NodeID]int{}
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			mem := StartCoordinator(c)
+			defer mem.Close()
+			for {
+				m, err := mem.Sync()
+				if err != nil {
+					return err
+				}
+				if len(m.Alive()) == ranks {
+					return nil
+				}
+			}
+		}
+		mem, err := Join(c, 0)
+		if err != nil {
+			return err
+		}
+		defer mem.Close()
+		mu.Lock()
+		ids[mem.ID()]++
+		mu.Unlock()
+		for {
+			m, err := mem.Sync()
+			if err != nil {
+				return err
+			}
+			if len(m.Alive()) == ranks {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != ranks-1 {
+		t.Fatalf("%d unique ids for %d joiners: %v", len(ids), ranks-1, ids)
+	}
+	for id, n := range ids {
+		if n != 1 {
+			t.Fatalf("id %d assigned %d times", id, n)
+		}
+	}
+}

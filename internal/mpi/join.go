@@ -8,6 +8,14 @@ import (
 	"time"
 )
 
+// probeTimeout bounds the reachability check run against a published
+// rendezvous address. Addresses are loopback or cluster-local, so a live
+// listener answers in microseconds; a connection refused returns just as
+// fast. Only an address file left behind by a previous run (whose
+// process is gone) fails here, and the poll loop then keeps waiting for
+// the owner to overwrite it.
+const probeTimeout = 100 * time.Millisecond
+
 // JoinTCP forms a world whose ranks live in separate OS processes — the
 // deployment shape of the paper's mpiexec-launched FanStore (§V-D). Ranks
 // rendezvous through a shared directory (the role a process manager or
@@ -15,6 +23,12 @@ import (
 // loopback TCP port, publishes its address as <dir>/rank-<r>.addr, waits
 // until all ranks have published, and then exchanges messages exactly as
 // Run/RunTCP worlds do.
+//
+// A published address is verified reachable before it is accepted, so a
+// stale file from a crashed or previous run does not poison the world:
+// the rank keeps polling until the owner overwrites the file (its
+// write-then-rename publish makes the swap atomic) or the timeout
+// expires.
 //
 // The returned leave function must be called when the rank is done; it
 // closes the transport and unblocks any local Recv with ErrAborted. Like
@@ -27,6 +41,29 @@ func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), 
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, nil, fmt.Errorf("mpi: join rank %d of %d", rank, size)
 	}
+	waitFor := make([]int, 0, size-1)
+	for r := 0; r < size; r++ {
+		if r != rank {
+			waitFor = append(waitFor, r)
+		}
+	}
+	return JoinTCPMembers(dir, rank, size, waitFor, timeout)
+}
+
+// JoinTCPMembers is JoinTCP for elastic deployments: the world has size
+// slots, but this rank only waits for the peers listed in waitFor (the
+// initial members). The remaining slots' addresses resolve lazily at
+// first send, so a spare slot can publish long after the members formed
+// the world — the transport half of a mid-training node join.
+func JoinTCPMembers(dir string, rank, size int, waitFor []int, timeout time.Duration) (*Comm, func(), error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, nil, fmt.Errorf("mpi: join rank %d of %d", rank, size)
+	}
+	for _, r := range waitFor {
+		if r < 0 || r >= size {
+			return nil, nil, fmt.Errorf("mpi: join rank %d: waitFor rank %d out of range", rank, r)
+		}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("mpi: rendezvous dir: %w", err)
 	}
@@ -36,7 +73,7 @@ func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), 
 	// sends go through the transport.
 	w.boxes[rank] = newMailbox()
 
-	t := &tcpTransport{w: w, conns: make(map[int]*tcpConn)}
+	t := &tcpTransport{w: w, dir: dir, conns: make(map[int]*tcpConn)}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, fmt.Errorf("mpi: join listen: %w", err)
@@ -76,22 +113,26 @@ func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), 
 		}
 	}()
 
-	// Wait for every peer's address.
+	// Wait for the listed peers' addresses, verifying each one answers:
+	// a file that reads fine but refuses connections is a leftover from
+	// an earlier run, and accepting it would wedge the first send.
 	deadline := time.Now().Add(timeout)
-	for r := 0; r < size; r++ {
+	for _, r := range waitFor {
 		if r == rank {
 			continue
 		}
-		path := filepath.Join(dir, fmt.Sprintf("rank-%d.addr", r))
 		for {
-			data, err := os.ReadFile(path)
-			if err == nil && len(data) > 0 {
-				t.addrs[r] = string(data)
-				break
+			addr, err := readRendezvousAddr(dir, r)
+			if err == nil {
+				if probe, perr := net.DialTimeout("tcp", addr, probeTimeout); perr == nil {
+					probe.Close()
+					t.addrs[r] = addr
+					break
+				}
 			}
 			if time.Now().After(deadline) {
 				t.close()
-				return nil, nil, fmt.Errorf("mpi: rank %d never published (waited %v)", r, timeout)
+				return nil, nil, fmt.Errorf("mpi: rank %d never published a reachable address (waited %v)", r, timeout)
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
@@ -103,4 +144,16 @@ func JoinTCP(dir string, rank, size int, timeout time.Duration) (*Comm, func(), 
 		t.close()
 	}
 	return &Comm{world: w, rank: rank}, leave, nil
+}
+
+// readRendezvousAddr reads rank r's published address file.
+func readRendezvousAddr(dir string, r int) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("rank-%d.addr", r)))
+	if err != nil {
+		return "", err
+	}
+	if len(data) == 0 {
+		return "", fmt.Errorf("mpi: rank %d published an empty address", r)
+	}
+	return string(data), nil
 }

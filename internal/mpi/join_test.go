@@ -3,8 +3,10 @@ package mpi
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -75,6 +77,132 @@ func TestJoinTCPValidation(t *testing.T) {
 		t.Fatal("missing peer accepted")
 	} else if time.Since(start) > 5*time.Second {
 		t.Fatal("timeout not honored")
+	}
+}
+
+// TestJoinTCPStaleAddress plants a leftover address file from a "previous
+// run" (a listener that is long gone) in the rendezvous directory. The
+// join must not accept the unreachable address: it keeps polling until
+// the real rank 1 overwrites the file, and the world then works.
+func TestJoinTCPStaleAddress(t *testing.T) {
+	dir := t.TempDir()
+	// A dead address: bind a port, remember it, close it again.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	if err := os.WriteFile(filepath.Join(dir, "rank-1.addr"), []byte(dead), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const size = 2
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				if r == 1 {
+					// Let rank 0 read the stale file first.
+					time.Sleep(50 * time.Millisecond)
+				}
+				c, leave, err := JoinTCP(dir, r, size, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				defer leave()
+				if err := c.Send(c.Neighbor(), 7, []byte{byte(r)}); err != nil {
+					return err
+				}
+				data, src, err := c.Recv(AnySource, 7)
+				if err != nil {
+					return err
+				}
+				want := (r + 1) % size
+				if src != want || data[0] != byte(want) {
+					return fmt.Errorf("rank %d: got %v from %d", r, data, src)
+				}
+				return nil
+			}()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestJoinTCPMembersLazyResolve forms a 3-slot world where only ranks 0
+// and 1 are initial members; slot 2 publishes later and is resolved
+// lazily at first send — the transport shape of an elastic node join.
+func TestJoinTCPMembersLazyResolve(t *testing.T) {
+	dir := t.TempDir()
+	const size = 3
+	members := []int{0, 1}
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				c, leave, err := JoinTCPMembers(dir, r, size, members, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				defer leave()
+				// The late slot opens the conversation; replying to it
+				// exercises the lazy dial of an address that did not
+				// exist when this world formed.
+				data, src, err := c.Recv(AnySource, 9)
+				if err != nil {
+					return err
+				}
+				if src != 2 {
+					return fmt.Errorf("rank %d: hello from %d, want 2", r, src)
+				}
+				return c.Send(2, 9, append(data, byte(r)))
+			}()
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[2] = func() error {
+			// The joiner arrives late, after the members are up.
+			time.Sleep(100 * time.Millisecond)
+			c, leave, err := JoinTCPMembers(dir, 2, size, members, 10*time.Second)
+			if err != nil {
+				return err
+			}
+			defer leave()
+			for r := 0; r < 2; r++ {
+				if err := c.Send(r, 9, []byte{42}); err != nil {
+					return err
+				}
+			}
+			for r := 0; r < 2; r++ {
+				data, _, err := c.Recv(AnySource, 9)
+				if err != nil {
+					return err
+				}
+				if len(data) != 2 || data[0] != 42 {
+					return fmt.Errorf("joiner: bad reply %v", data)
+				}
+			}
+			return nil
+		}()
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
 	}
 }
 

@@ -38,6 +38,10 @@ type tcpTransport struct {
 	w         *World
 	listeners []net.Listener
 	addrs     []string
+	// dir enables lazy address resolution: an empty addrs slot is
+	// resolved from the rendezvous directory at first dial, so a world
+	// can start before every slot has published (JoinTCPMembers).
+	dir string
 
 	mu    sync.Mutex
 	conns map[int]*tcpConn // key: src*size + dst
@@ -121,7 +125,21 @@ func (t *tcpTransport) conn(src, dst int) (*tcpConn, error) {
 	if c, ok := t.conns[key]; ok {
 		return c, nil
 	}
-	c, err := net.Dial("tcp", t.addrs[dst])
+	addr := t.addrs[dst]
+	if addr == "" {
+		if t.dir == "" {
+			return nil, fmt.Errorf("mpi: tcp dial rank %d: no address", dst)
+		}
+		// Lazy rendezvous: the slot joined after this world formed (an
+		// elastic spare); its address file appears when it comes up.
+		resolved, err := readRendezvousAddr(t.dir, dst)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: tcp dial rank %d: %w", dst, err)
+		}
+		t.addrs[dst] = resolved
+		addr = resolved
+	}
+	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: tcp dial rank %d: %w", dst, err)
 	}

@@ -37,6 +37,7 @@ const (
 	statusOK       = 0
 	statusNotFound = 1
 	statusError    = 2
+	statusStale    = 3
 )
 
 // Errors surfaced by Client.Call.
@@ -49,11 +50,17 @@ var (
 	ErrRemote = errors.New("rpc: remote handler error")
 	// ErrTimeout reports that an attempt exceeded its deadline.
 	ErrTimeout = errors.New("rpc: call timed out")
+	// ErrStale reports a cluster-map version disagreement between caller
+	// and handler. Terminal for this call: the caller must refresh its
+	// map (and usually its routing metadata) before re-resolving the
+	// route — blind retries against the same peer cannot converge.
+	ErrStale = errors.New("rpc: stale cluster map")
 )
 
 // Handler services one request and returns the response payload.
-// Returning an error wrapping ErrNotFound maps to a not-found status;
-// any other error maps to a remote-error status carrying the text.
+// Returning an error wrapping ErrNotFound maps to a not-found status,
+// one wrapping ErrStale maps to a stale-map status; any other error
+// maps to a remote-error status carrying the text.
 //
 // Buffer ownership: req is only valid for the duration of the call —
 // the server recycles the request frame into the shared buffer pool
@@ -211,6 +218,15 @@ func (s *Server) answer(req request) {
 	case errors.Is(err, ErrNotFound):
 		resp = []byte{statusNotFound}
 		s.notFound.Inc()
+	case errors.Is(err, ErrStale):
+		// The payload carries the handler's map version (if it chose to
+		// include one via the error text); status alone is what routing
+		// layers branch on.
+		msg := err.Error()
+		resp = make([]byte, 1, 1+len(msg))
+		resp[0] = statusStale
+		resp = append(resp, msg...)
+		s.errors.Inc()
 	default:
 		msg := err.Error()
 		resp = make([]byte, 1, 1+len(msg))
@@ -258,8 +274,8 @@ type ClientOptions struct {
 	// Timeout bounds each attempt (0 means block until the reply).
 	Timeout time.Duration
 	// Retries is how many extra attempts follow a timed-out or
-	// remote-errored attempt. Not-found and world-abort errors are
-	// terminal and never retried.
+	// remote-errored attempt. Not-found, stale-map, and world-abort
+	// errors are terminal and never retried.
 	Retries int
 	// Backoff is the pause before the first retry; it doubles per
 	// attempt. 0 means retry immediately.
@@ -327,7 +343,7 @@ func (c *Client) Call(dst int, req []byte) ([]byte, error) {
 			return resp, nil
 		}
 		lastErr = err
-		if errors.Is(err, ErrNotFound) || errors.Is(err, mpi.ErrAborted) {
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrStale) || errors.Is(err, mpi.ErrAborted) {
 			break // terminal: retrying the same peer cannot help
 		}
 	}
@@ -365,6 +381,8 @@ func (c *Client) attempt(dst int, req []byte) ([]byte, error) {
 		return resp[1:], nil
 	case statusNotFound:
 		return nil, fmt.Errorf("%w: rank %d", ErrNotFound, dst)
+	case statusStale:
+		return nil, fmt.Errorf("%w: rank %d: %s", ErrStale, dst, resp[1:])
 	default:
 		return nil, fmt.Errorf("%w: rank %d: %s", ErrRemote, dst, resp[1:])
 	}

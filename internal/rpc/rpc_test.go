@@ -99,6 +99,40 @@ func TestNotFoundAndRemoteError(t *testing.T) {
 	}
 }
 
+// TestStaleStatus checks a handler returning ErrStale surfaces as a
+// terminal (non-retried) ErrStale on the caller, carrying the text.
+func TestStaleStatus(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 1 {
+			var calls atomic.Int32
+			s := serveOn(c, func(_ int, _ []byte) ([]byte, error) {
+				calls.Add(1)
+				return nil, fmt.Errorf("%w: have v3, got v2", ErrStale)
+			}, ServerOptions{})
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			s.Stop()
+			if n := calls.Load(); n != 1 {
+				return fmt.Errorf("stale call retried: %d handler invocations", n)
+			}
+			return nil
+		}
+		cl := NewClient(c, 500, 1<<20, ClientOptions{Retries: 3})
+		_, err := cl.Call(1, []byte("read"))
+		if !errors.Is(err, ErrStale) || !strings.Contains(err.Error(), "have v3") {
+			return fmt.Errorf("stale: %v", err)
+		}
+		if st := cl.Stats(); st.Retries != 0 {
+			return fmt.Errorf("client stats %+v", st)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCallDeadline(t *testing.T) {
 	err := mpi.Run(2, func(c *mpi.Comm) error {
 		release := make(chan struct{})

@@ -28,6 +28,13 @@ type SimObserver struct {
 // simulated wall time, which equals TrainTime(epochs, dataSize) when the
 // observer is unskewed.
 func (c Config) TraceEpochs(epochs, dataSize int, obs SimObserver) time.Duration {
+	return c.traceEpochsFrom(0, epochs, dataSize, obs)
+}
+
+// traceEpochsFrom is TraceEpochs with the spans laid down from a start
+// offset, so multi-phase replays (TraceEpochsJoin) keep one contiguous
+// timeline. It returns the simulated time added, not the end time.
+func (c Config) traceEpochsFrom(start time.Duration, epochs, dataSize int, obs SimObserver) time.Duration {
 	skew := obs.Skew
 	if skew <= 0 {
 		skew = 1
@@ -53,7 +60,7 @@ func (c Config) TraceEpochs(epochs, dataSize int, obs SimObserver) time.Duration
 	epochCount := obs.Metrics.Counter("trainsim.epochs")
 	iterCount := obs.Metrics.Counter("trainsim.iters")
 
-	var now time.Duration
+	now := start
 	for e := 0; e < epochs; e++ {
 		obs.Tracer.Record(trace.OpEpoch, "", trace.OutcomeNone, now, epochDur)
 		// The wait/compute split is aggregated per epoch (one span each)
@@ -73,6 +80,68 @@ func (c Config) TraceEpochs(epochs, dataSize int, obs SimObserver) time.Duration
 		iterCount.Add(int64(iters))
 		now += epochDur
 	}
+	return now - start
+}
+
+// JoinConfig parameterizes TraceEpochsJoin.
+type JoinConfig struct {
+	// JoinEpoch is the 0-based epoch during which the new node joins;
+	// epochs after it run with Nodes+1 members.
+	JoinEpoch int
+	// MovedFrac is the fraction of the dataset's compressed bytes the
+	// delta rebalance streams to the joiner (default 1/(Nodes+1): the
+	// joiner's fair share, the minimal-movement delta).
+	MovedFrac float64
+}
+
+// TraceEpochsJoin replays a run where a node joins the elastic cluster
+// mid-training: epochs before JoinEpoch run on Nodes members, the join
+// epoch additionally streams the delta-rebalance transfer over the
+// fabric while serving (an OpFetch span labelled "rebalance"; the epoch
+// only stretches by whatever the transfer does not hide behind it), and
+// later epochs run on Nodes+1 members with the remote fraction of the
+// wider cluster. It emits the live store's elastic instruments —
+// "rebalance.bytes.moved" and the "member.map.version" commit bump — so
+// the cluster report renders simulated joins exactly like real ones,
+// plus "trainsim.rebalance.latency" for the transfer itself.
+func (c Config) TraceEpochsJoin(epochs, dataSize int, jc JoinConfig, obs SimObserver) time.Duration {
+	if jc.JoinEpoch < 0 || jc.JoinEpoch >= epochs {
+		return c.TraceEpochs(epochs, dataSize, obs)
+	}
+	grown := c
+	grown.Nodes = c.Nodes + 1
+	if c.RemoteFrac > 0 {
+		// Uniform sampling over one more member: (N-1)/N -> N/(N+1).
+		grown.RemoteFrac = float64(grown.Nodes-1) / float64(grown.Nodes)
+	}
+	movedFrac := jc.MovedFrac
+	if movedFrac <= 0 {
+		movedFrac = 1 / float64(grown.Nodes)
+	}
+	compBytes := int64(float64(c.App.FileSizeBytes()) * float64(dataSize) / c.ratio())
+	moved := int64(float64(compBytes) * movedFrac)
+	transfer := c.Clust.Fabric.Transfer(moved)
+
+	var now time.Duration
+	now += c.traceEpochsFrom(0, jc.JoinEpoch, dataSize, obs)
+
+	// The join epoch: the old membership serves the whole epoch (the
+	// handoff only commits once the moves land), with the rebalance
+	// stream riding the fabric alongside it.
+	epochDur := c.traceEpochsFrom(now, 1, dataSize, obs)
+	obs.Tracer.Record(trace.OpFetch, "rebalance", trace.OutcomeRemoteFetch, now, transfer)
+	obs.Metrics.Counter("rebalance.bytes.moved").Add(moved)
+	obs.Metrics.Histogram("trainsim.rebalance.latency").Observe(transfer)
+	if transfer > epochDur {
+		// The stream outlives the epoch: the commit (and the next
+		// epoch) waits for the last handoff.
+		epochDur = transfer
+	}
+	now += epochDur
+	// Commit: the map version moves past the static 1.
+	obs.Metrics.Gauge("member.map.version").Set(2)
+
+	now += grown.traceEpochsFrom(now, epochs-jc.JoinEpoch-1, dataSize, obs)
 	return now
 }
 

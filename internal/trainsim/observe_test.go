@@ -145,3 +145,55 @@ func TestSimulatedClusterChromeExport(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceEpochsJoinGrowsCluster(t *testing.T) {
+	cfg := simConfig()
+	cfg.RemoteFrac = float64(cfg.Nodes-1) / float64(cfg.Nodes)
+	const epochs, dataSize = 4, 4000
+	reg := metrics.NewRegistry()
+	tr := trace.NewSynthetic(0, 1<<10)
+	total := cfg.TraceEpochsJoin(epochs, dataSize, JoinConfig{JoinEpoch: 1},
+		SimObserver{Tracer: tr, Metrics: reg})
+
+	// The join epoch and everything before run on the old membership;
+	// afterwards the per-node share shrinks, so the grown epochs are no
+	// slower than the old ones and the run beats the static schedule
+	// whenever the rebalance transfer hides behind the join epoch.
+	grown := cfg
+	grown.Nodes = cfg.Nodes + 1
+	grown.RemoteFrac = float64(grown.Nodes-1) / float64(grown.Nodes)
+	oldEpoch := cfg.TrainTime(1, dataSize)
+	grownEpoch := grown.TrainTime(1, dataSize)
+	if grownEpoch > oldEpoch {
+		t.Fatalf("grown epoch %v slower than old %v", grownEpoch, oldEpoch)
+	}
+	if total < 2*oldEpoch+2*grownEpoch {
+		t.Fatalf("total %v below the floor of 2 old + 2 grown epochs (%v)", total, 2*oldEpoch+2*grownEpoch)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["trainsim.epochs"]; got != epochs {
+		t.Fatalf("epochs counter = %d, want %d", got, epochs)
+	}
+	if snap.Counters["rebalance.bytes.moved"] <= 0 {
+		t.Fatalf("no rebalance bytes recorded: %v", snap.Counters)
+	}
+	if v := snap.Gauges["member.map.version"].Value; v != 2 {
+		t.Fatalf("map version gauge = %d, want 2 (post-commit)", v)
+	}
+	if snap.Histograms["trainsim.rebalance.latency"].Count != 1 {
+		t.Fatalf("rebalance latency histogram: %+v", snap.Histograms["trainsim.rebalance.latency"])
+	}
+
+	// The rebalance transfer shows up as a labelled fetch span, and the
+	// cluster report renders the rebalance line from the same snapshot.
+	foundTransfer := false
+	for _, s := range tr.Spans() {
+		if s.Op == trace.OpFetch && tr.PathName(s.PathID) == "rebalance" {
+			foundTransfer = true
+		}
+	}
+	if !foundTransfer {
+		t.Fatal("no rebalance transfer span in the trace")
+	}
+}
