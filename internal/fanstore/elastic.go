@@ -38,7 +38,7 @@ const (
 	ctrlMoved    = byte(5)  // dest -> coord: pull finished (ok or failed)
 	ctrlCommit   = byte(6)  // coord -> members: new map + rewritten owners
 	ctrlLeave    = byte(7)  // leaver -> coord: drain my partitions
-	ctrlDrained  = byte(8)  // coord -> leaver: you own nothing, go
+	ctrlDrained  = byte(8)  // coord -> leaver: drain ack, u8 status (1: you own nothing, go)
 	ctrlBye      = byte(9)  // member -> coord: done with the namespace
 	ctrlByeAck   = byte(10) // coord -> members: everyone said bye, shut down
 )
@@ -87,6 +87,8 @@ type coordState struct {
 type rebalanceJob struct {
 	transfers map[uint64]transfer // pending pulls, keyed by gid
 	done      []transfer          // acked pulls (these commit)
+	failed    []transfer          // failed pulls (redispatched once, then dropped)
+	retried   bool                // the one retry round has run
 	leaver    member.NodeID       // NoNode for a join
 	leaveRank int
 }
@@ -106,7 +108,7 @@ type elasticCtrl struct {
 	waiters []*commitWaiter
 	coord   *coordState // nil on non-coordinators
 
-	drained chan struct{} // closed when the coordinator acks our leave
+	drained chan byte     // drain-ack status from the coordinator (1: fully drained)
 	byeAck  chan struct{} // closed when the coordinator acks shutdown
 
 	rebalBytes   *metrics.Counter
@@ -124,7 +126,7 @@ func newElasticCtrl(n *Node, mem *member.Membership, coordRank int, opts Elastic
 		mem:          mem,
 		coordRank:    coordRank,
 		opts:         opts,
-		drained:      make(chan struct{}),
+		drained:      make(chan byte, 1),
 		byeAck:       make(chan struct{}),
 		rebalBytes:   n.reg.Counter("rebalance.bytes.moved"),
 		rebalPending: n.reg.Gauge("rebalance.partitions.pending"),
@@ -313,6 +315,21 @@ func JoinCluster(comm *mpi.Comm, coordRank int, opts ElasticOptions) (*Node, err
 	select {
 	case <-wait:
 	case <-time.After(60 * time.Second):
+		// Tear the half-joined node down: stop the ctrl loop, leave the
+		// map best-effort (member requests are deadline-bounded, so a
+		// dead coordinator cannot re-wedge us), and shut the local
+		// daemons down — a failed join must leak neither goroutines nor
+		// a ghost member that future rebalances would target.
+		n.closed.Store(true)
+		_ = comm.Send(comm.Rank(), tagCtrl, nil) // poison the ctrl loop
+		e.wg.Wait()
+		_ = mem.Leave()
+		mem.Close() // idempotent when Leave already closed
+		n.server.Stop()
+		_ = comm.Send(comm.Rank(), tagWriteMeta, nil)
+		n.daemon.Wait()
+		n.decode.Close()
+		_ = n.backend.Close()
 		return nil, fmt.Errorf("fanstore: join: rebalance commit did not arrive")
 	}
 	return n, nil
@@ -422,7 +439,17 @@ func (e *elasticCtrl) handleCtrl(data []byte, src int) bool {
 		close(e.byeAck)
 		return true
 	case ctrlDrained:
-		close(e.drained)
+		// Status byte: 1 means every partition left this node. The send
+		// is non-blocking so a late ack from a timed-out leave attempt
+		// cannot wedge the ctrl loop.
+		st := byte(0)
+		if len(data) >= 2 {
+			st = data[1]
+		}
+		select {
+		case e.drained <- st:
+		default:
+		}
 	}
 	return false
 }
@@ -456,6 +483,14 @@ func (e *elasticCtrl) startJob(job *rebalanceJob) {
 		e.commitJob(job)
 		return
 	}
+	e.dispatch(transfers)
+}
+
+// dispatch fires the ctrlMove for each transfer (or pulls directly when
+// the coordinator itself is the destination). A transfer that cannot be
+// dispatched is recorded as failed through moveFinished like any other
+// failed pull.
+func (e *elasticCtrl) dispatch(transfers []transfer) {
 	m := e.n.view.Map()
 	for _, tr := range transfers {
 		rank, err := m.RankOf(tr.to)
@@ -590,6 +625,8 @@ func (e *elasticCtrl) moveFinished(gid uint64, ok bool) {
 	delete(job.transfers, gid)
 	if ok {
 		job.done = append(job.done, tr)
+	} else {
+		job.failed = append(job.failed, tr)
 	}
 	remaining := len(job.transfers)
 	// The gauge moves under the same lock as the transfer set, so a late
@@ -597,8 +634,32 @@ func (e *elasticCtrl) moveFinished(gid uint64, ok bool) {
 	e.rebalPending.Set(int64(remaining))
 	e.mu.Unlock()
 	if remaining == 0 {
-		e.commitJob(job)
+		e.finishJob(job)
 	}
+}
+
+// finishJob runs once the active job has no outstanding transfers.
+// Failed pulls get one redispatch round — a transient fetch error or a
+// destination still warming up usually succeeds on the second try —
+// then the job commits with whatever landed: un-moved partitions keep
+// their old owner, and a leaver that still owns data is refused its
+// drain ack (see commitJob) so its only copies never leave the cluster.
+func (e *elasticCtrl) finishJob(job *rebalanceJob) {
+	e.mu.Lock()
+	if len(job.failed) > 0 && !job.retried {
+		job.retried = true
+		retry := job.failed
+		job.failed = nil
+		for _, tr := range retry {
+			job.transfers[tr.gid] = tr
+		}
+		e.rebalPending.Set(int64(len(job.transfers)))
+		e.mu.Unlock()
+		e.dispatch(retry)
+		return
+	}
+	e.mu.Unlock()
+	e.commitJob(job)
 }
 
 // commitJob publishes the rebalance: bump the map version, rewrite the
@@ -637,7 +698,20 @@ func (e *elasticCtrl) commitJob(job *rebalanceJob) {
 		_ = e.n.comm.Send(node.Rank, tagCtrl, frame)
 	}
 	if job.leaver != member.NoNode && job.leaveRank >= 0 {
-		_ = e.n.comm.Send(job.leaveRank, tagCtrl, []byte{ctrlDrained})
+		// The leaver may only shut down once nothing in the registry
+		// still names it: a failed pull leaves the leaver holding the
+		// only copy of that partition, so the ack carries a status and
+		// LeaveCluster surfaces the failure instead of closing the node.
+		e.mu.Lock()
+		drained := byte(1)
+		for _, rec := range e.coord.registry {
+			if rec.owner == job.leaver {
+				drained = 0
+				break
+			}
+		}
+		e.mu.Unlock()
+		_ = e.n.comm.Send(job.leaveRank, tagCtrl, []byte{ctrlDrained, drained})
 	}
 
 	e.mu.Lock()
@@ -729,7 +803,10 @@ func (n *Node) closeElastic() error {
 // LeaveCluster drains this node out of the cluster and shuts it down:
 // the coordinator re-places its partitions on the survivors (reads keep
 // being served here until the commit), then the node leaves the map and
-// closes locally. The remaining members keep running.
+// closes locally. The remaining members keep running. If any partition
+// could not be re-homed — this node would depart with the only copy —
+// LeaveCluster returns an error and the node stays a serving member;
+// the caller may retry.
 func (n *Node) LeaveCluster() error {
 	if n.closed.Swap(true) {
 		return nil
@@ -746,14 +823,25 @@ func (n *Node) LeaveCluster() error {
 	req[0] = ctrlLeave
 	binary.LittleEndian.PutUint32(req[1:], uint32(n.selfID))
 	if err := n.comm.Send(e.coordRank, tagCtrl, req[:]); err != nil {
+		n.closed.Store(false)
 		return fmt.Errorf("fanstore: leave: %w", err)
 	}
+	var status byte
 	select {
-	case <-e.drained:
+	case status = <-e.drained:
 	case <-time.After(60 * time.Second):
+		n.closed.Store(false)
 		return fmt.Errorf("fanstore: leave: drain did not complete")
 	}
+	if status != 1 {
+		// Some partitions could not be re-homed; this node holds the
+		// only copy, so it must stay a serving member. The caller may
+		// retry the leave.
+		n.closed.Store(false)
+		return fmt.Errorf("fanstore: leave: drain failed; this node still owns partitions")
+	}
 	if err := e.mem.Leave(); err != nil {
+		n.closed.Store(false)
 		return err
 	}
 	// Unblock the ctrl loop (it has no ByeAck coming) and tear down.

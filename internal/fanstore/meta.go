@@ -37,11 +37,17 @@ type FileMeta struct {
 	Replicas []int32
 }
 
+// maxReplicaFan caps the replica IDs carried per record on the wire:
+// the count is a single byte, so a longer list is truncated at encode
+// time instead of letting byte(len) wrap and desynchronize the frame.
+// A rotation set anywhere near 255 alternates is far beyond useful.
+const maxReplicaFan = 255
+
 // encodeMetas serializes a metadata list for the Allgather exchange.
 func encodeMetas(metas []FileMeta) []byte {
 	size := 4
 	for i := range metas {
-		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 1 + 4*len(metas[i].Replicas)
+		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 1 + 4*minInt(len(metas[i].Replicas), maxReplicaFan)
 	}
 	out := make([]byte, 0, size)
 	var b [8]byte
@@ -71,8 +77,9 @@ func encodeMetas(metas []FileMeta) []byte {
 		}
 		binary.LittleEndian.PutUint64(b[:], m.MapVersion)
 		out = append(out, b[:]...)
-		out = append(out, byte(len(m.Replicas)))
-		for _, r := range m.Replicas {
+		nr := minInt(len(m.Replicas), maxReplicaFan)
+		out = append(out, byte(nr))
+		for _, r := range m.Replicas[:nr] {
 			binary.LittleEndian.PutUint32(b[:4], uint32(r))
 			out = append(out, b[:4]...)
 		}

@@ -25,6 +25,38 @@ func TestMetaEncodeDecode(t *testing.T) {
 	}
 }
 
+// TestMetaReplicaFanCap checks the one-byte wire count cannot be
+// overflowed: a record with more than maxReplicaFan replicas encodes a
+// truncated-but-consistent list, and the entries after it still parse.
+func TestMetaReplicaFanCap(t *testing.T) {
+	wide := make([]int32, maxReplicaFan+45)
+	for i := range wide {
+		wide[i] = int32(i)
+	}
+	in := []FileMeta{
+		{Path: "wide.bin", Size: 7, Owner: 1, MapVersion: 3, Replicas: wide},
+		{Path: "after.bin", Size: 9, Owner: 2, MapVersion: 3, Replicas: []int32{4, 5}},
+	}
+	out, err := decodeMetas(encodeMetas(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(out))
+	}
+	if len(out[0].Replicas) != maxReplicaFan {
+		t.Fatalf("wide record carries %d replicas, want the %d cap", len(out[0].Replicas), maxReplicaFan)
+	}
+	for i, r := range out[0].Replicas {
+		if r != int32(i) {
+			t.Fatalf("replica %d = %d; truncation must keep a prefix", i, r)
+		}
+	}
+	if out[1].Path != "after.bin" || out[1].Size != 9 || !reflect.DeepEqual(out[1].Replicas, []int32{4, 5}) {
+		t.Fatalf("record after the capped one misparsed: %+v", out[1])
+	}
+}
+
 func TestMetaDecodeCorrupt(t *testing.T) {
 	blob := encodeMetas([]FileMeta{{Path: "f", Size: 1}})
 	for _, cut := range []int{0, 3, 5, len(blob) - 1} {

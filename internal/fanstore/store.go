@@ -875,6 +875,17 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 				stale = true
 				continue // a refresh, not a failover, fixes this
 			}
+			if n.elastic && errors.Is(err, rpc.ErrNotFound) {
+				// Even a version-matched miss can be a commit race: map
+				// and meta land in separate steps, so this node may have
+				// routed to the old owner under the new version after the
+				// owner already dropped the partition. The object is in a
+				// metadata record we hold, so "not found" on an elastic
+				// mount means some route is stale, never that the object
+				// is gone — refresh rather than fail.
+				stale = true
+				continue
+			}
 			if i+1 < len(cands) {
 				n.failovers.Inc()
 				outcome = trace.OutcomeFailover

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"fanstore/internal/mpi"
 )
@@ -23,6 +24,11 @@ const (
 	opLeave = byte(2) // body: i32 id; reply: map
 	opSync  = byte(3) // body: none; reply: map
 )
+
+// ackTimeout bounds every member-side wait for a coordinator reply, so
+// a dead or wedged coordinator turns Join/Sync/Leave into errors
+// instead of hangs.
+const ackTimeout = 30 * time.Second
 
 // Coordinator owns the cluster map: it serializes mutations, bumps the
 // version on every change, and broadcasts the new map to all alive
@@ -74,7 +80,7 @@ func Join(comm *mpi.Comm, coordRank int) (*Membership, error) {
 	if err := comm.Send(coordRank, tagMemberReq, []byte{opJoin}); err != nil {
 		return nil, fmt.Errorf("member: join: %w", err)
 	}
-	resp, _, err := comm.Recv(coordRank, tagMemberAck)
+	resp, _, err := comm.RecvDeadline(coordRank, tagMemberAck, ackTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("member: join: %w", err)
 	}
@@ -134,7 +140,7 @@ func (m *Membership) Sync() (*ClusterMap, error) {
 	if err := m.comm.Send(m.coordRank, tagMemberReq, []byte{opSync}); err != nil {
 		return nil, fmt.Errorf("member: sync: %w", err)
 	}
-	resp, _, err := m.comm.Recv(m.coordRank, tagMemberAck)
+	resp, _, err := m.comm.RecvDeadline(m.coordRank, tagMemberAck, ackTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("member: sync: %w", err)
 	}
@@ -159,7 +165,7 @@ func (m *Membership) Leave() error {
 	if err := m.comm.Send(m.coordRank, tagMemberReq, body[:]); err != nil {
 		return fmt.Errorf("member: leave: %w", err)
 	}
-	resp, _, err := m.comm.Recv(m.coordRank, tagMemberAck)
+	resp, _, err := m.comm.RecvDeadline(m.coordRank, tagMemberAck, ackTimeout)
 	if err != nil {
 		return fmt.Errorf("member: leave: %w", err)
 	}
@@ -203,6 +209,9 @@ func (c *Coordinator) serve() {
 			c.broadcast(m, src)
 		case opLeave:
 			if len(data) < 5 {
+				// Malformed: reply anyway (with the unchanged map) so the
+				// requester's blocked Recv never wedges on a protocol error.
+				_ = c.comm.Send(src, tagMemberAck, c.view.Map().Encode())
 				continue
 			}
 			id := NodeID(int32(binary.LittleEndian.Uint32(data[1:])))
@@ -210,6 +219,10 @@ func (c *Coordinator) serve() {
 			_ = c.comm.Send(src, tagMemberAck, m.Encode())
 			c.broadcast(m, src)
 		case opSync:
+			_ = c.comm.Send(src, tagMemberAck, c.view.Map().Encode())
+		default:
+			// Every tagMemberReq gets a tagMemberAck; an unknown op is
+			// answered with the current map rather than dropped.
 			_ = c.comm.Send(src, tagMemberAck, c.view.Map().Encode())
 		}
 	}
@@ -250,7 +263,13 @@ func (c *Coordinator) remove(id NodeID) *ClusterMap {
 // Advance bumps the map version without changing membership — the
 // placement-commit hook: a rebalance publishes its new ownership table
 // under the version this returns, so stale readers are detectable by
-// version alone. Coordinator-only.
+// version alone. Unlike join/leave mutations the bumped map is NOT
+// broadcast here: the caller must deliver it atomically with the
+// rewritten ownership records (the store's ctrlCommit frame does).
+// A bare broadcast would let a reader observe the new version while
+// still routing on old metadata — a version-matched miss the stale-map
+// retry could not tell from a genuinely missing object.
+// Coordinator-only.
 func (m *Membership) Advance() (*ClusterMap, error) {
 	if m.coord == nil {
 		return nil, fmt.Errorf("member: Advance is coordinator-only")
@@ -262,7 +281,6 @@ func (m *Membership) Advance() (*ClusterMap, error) {
 	c.cur = cm
 	c.view.Update(cm)
 	c.mu.Unlock()
-	c.broadcast(cm, -1)
 	return cm, nil
 }
 

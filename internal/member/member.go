@@ -6,10 +6,13 @@
 // table provides for file metadata (§IV-C1), extended to membership.
 //
 // The map only ever moves forward: every mutation (join, leave, state
-// change, placement commit) bumps Version and is broadcast to all alive
-// members. A peer observing a version disagreement surfaces it as a
-// typed, retryable StaleMapError; the caller refreshes its map (Sync)
-// and retries instead of failing or burning a failover.
+// change, placement commit) bumps Version. Join/leave/state changes are
+// broadcast to all alive members; a placement commit (Advance) instead
+// hands the bumped map to the caller, which must distribute it
+// atomically with the ownership records placed under it. A peer
+// observing a version disagreement surfaces it as a typed, retryable
+// StaleMapError; the caller refreshes its map (Sync) and retries
+// instead of failing or burning a failover.
 package member
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"fanstore/internal/mpi"
 )
@@ -142,6 +143,60 @@ func TestJoinLeaveLifecycle(t *testing.T) {
 				return nil
 			}
 		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedRequestStillAcked sends protocol garbage on the request
+// tag: the coordinator must answer every tagMemberReq (here with the
+// unchanged map) so a buggy or truncated frame can never leave the
+// requester wedged in its Recv.
+func TestMalformedRequestStillAcked(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			mem := StartCoordinator(c)
+			defer mem.Close()
+			for {
+				m, err := mem.Sync()
+				if err != nil {
+					return err
+				}
+				if len(m.Alive()) == 2 {
+					break
+				}
+			}
+			// Hold the cluster open until the member is done probing.
+			_, _, err := c.Recv(1, 777)
+			return err
+		}
+		mem, err := Join(c, 0)
+		if err != nil {
+			return err
+		}
+		defer mem.Close()
+		for _, frame := range [][]byte{
+			{opLeave},       // truncated: no node id
+			{opLeave, 0xff}, // still short of the 4-byte id
+			{0x7f},          // unknown op
+		} {
+			if err := c.Send(0, tagMemberReq, frame); err != nil {
+				return err
+			}
+			resp, _, err := c.RecvDeadline(0, tagMemberAck, 5*time.Second)
+			if err != nil {
+				return fmt.Errorf("frame %v: no ack: %w", frame, err)
+			}
+			m, err := DecodeMap(resp)
+			if err != nil {
+				return fmt.Errorf("frame %v: ack not a map: %w", frame, err)
+			}
+			if len(m.Alive()) != 2 {
+				return fmt.Errorf("frame %v: malformed request mutated the map: %+v", frame, m)
+			}
+		}
+		return c.Send(0, 777, nil)
 	})
 	if err != nil {
 		t.Fatal(err)
