@@ -25,8 +25,10 @@ test:
 # decode worker pool and its buffer pool, the prefetch pipeline, the
 # training-loop simulator that drives them, and the observability layer
 # (span tracer + metrics registry) they all write into concurrently.
+# internal/ec rides along with the fault-path tests that call into it
+# from concurrent degraded reads.
 race:
-	$(GO) test -race ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/member/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race ./internal/ec/... ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/member/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...
@@ -39,4 +41,4 @@ benchsmoke:
 # The benchsmoke sweep with allocation counts, rendered to a JSON
 # trajectory file (ns/op + allocs/op per benchmark) via cmd/benchjson.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_PR7.json

@@ -201,6 +201,26 @@ func JoinCluster(c *Comm, coordRank int, opts ElasticOptions) (*Node, error) {
 	return store.JoinCluster(c, coordRank, opts)
 }
 
+// Redundancy is the mount-time redundancy selection for elastic mounts:
+// whole-partition replication (the default) or ec(k,m) erasure coding,
+// which stripes every partition into k data + m parity shards at m/k
+// memory overhead and keeps objects readable through degraded
+// reconstruction when up to m members die.
+type Redundancy = store.Redundancy
+
+// RedundancyMode selects how a mount survives losing a node.
+type RedundancyMode = store.RedundancyMode
+
+// Redundancy modes for Options.Redundancy.
+const (
+	RedundancyReplicate = store.RedundancyReplicate
+	RedundancyEC        = store.RedundancyEC
+)
+
+// ParseRedundancy parses the flag syntax: "replicate" (or empty) and
+// "ec(k,m)", e.g. "ec(4,2)".
+func ParseRedundancy(s string) (Redundancy, error) { return store.ParseRedundancy(s) }
+
 // RingReplicate passes each rank's partitions to its ring neighbor and
 // returns the predecessor's, for placing extra replicas without touching
 // the shared filesystem (§V-D).
@@ -277,4 +297,8 @@ var (
 	ErrIsDir    = store.ErrIsDir
 	ErrNotDir   = store.ErrNotDir
 	ErrClosed   = store.ErrClosed
+	// ErrVanished reports a remote read whose every candidate
+	// authoritatively no longer has the object (deleted or lost), as
+	// opposed to unreachable peers or a stale map.
+	ErrVanished = store.ErrVanished
 )

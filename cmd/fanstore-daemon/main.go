@@ -52,6 +52,7 @@ func main() {
 		members    = flag.Int("members", 0, "initial elastic members: ranks 0..members-1 mount, the rest are spare slots (0: static world)")
 		joinLate   = flag.Bool("join", false, "join a running elastic cluster as a new member (requires -members; no -part)")
 		leaveEarly = flag.Bool("leave", false, "leave the elastic cluster after the reads, draining partitions to the survivors")
+		redun      = flag.String("redundancy", "", "elastic redundancy: replicate (default) or ec(k,m), e.g. ec(4,2)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
@@ -112,6 +113,13 @@ func main() {
 	if *traceOut != "" {
 		tr = fanstore.NewTracer(*rank, 0)
 	}
+	red, err := fanstore.ParseRedundancy(*redun)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if red.Mode == fanstore.RedundancyEC && !elastic {
+		log.Fatal("-redundancy ec(k,m) needs an elastic mount (-members); static worlds replicate via -broadcast/ring placement")
+	}
 	opts := fanstore.Options{
 		SpillDir:      *spill,
 		FetchWorkers:  *workers,
@@ -121,6 +129,7 @@ func main() {
 		DecodeWorkers: *decoders,
 		Metrics:       reg,
 		Tracer:        tr,
+		Redundancy:    red,
 	}
 	var node *fanstore.Node
 	if elastic {

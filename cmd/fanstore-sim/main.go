@@ -14,6 +14,13 @@
 // dominate compute before the rank visibly lags):
 //
 //	fanstore-sim -case srgan-gtx -trace out.json -report -skew 100
+//
+// -chaos-kill-rank fail-stops one simulated rank at -chaos-at-epoch over
+// an ec(k,m) mount (-redundancy): the kill epoch runs degraded reads and
+// the background repair, and the report shows the ec line (degraded-read
+// count, reconstruct p99, rebuild throughput):
+//
+//	fanstore-sim -case srgan-gtx -report -chaos-kill-rank 3 -redundancy 'ec(4,2)'
 package main
 
 import (
@@ -66,6 +73,9 @@ func main() {
 		plan     = flag.Bool("plan", false, "replay epochs with the clairvoyant epoch-plan prefetcher (one batched cold fill) instead of the reactive window")
 		window   = flag.Int("window", 4, "reactive look-ahead window priced by the replay's per-epoch cold fill (without -plan)")
 		admitMB  = flag.Int("admission", 0, "staged-bytes admission budget reported by the -plan replay, MiB (0: unbounded)")
+		killRank = flag.Int("chaos-kill-rank", -1, "fail-stop this simulated rank and replay the degraded reads + repair (-1: no chaos)")
+		killAt   = flag.Int("chaos-at-epoch", 1, "epoch at whose start -chaos-kill-rank dies")
+		redun    = flag.String("redundancy", "ec(4,2)", "redundancy mode of the chaos replay: ec(k,m) (replicate is not survivable by reconstruction)")
 	)
 	flag.Parse()
 
@@ -199,6 +209,23 @@ func main() {
 		DecompressPerFile: cd.DecompressPerFile, Ratio: cd.Ratio,
 		RemoteFrac: float64(n-1) / float64(n),
 	}
+	chaos := *killRank >= 0
+	var cc trainsim.ChaosConfig
+	if chaos {
+		if *killRank >= n {
+			log.Fatalf("-chaos-kill-rank %d out of range (0..%d)", *killRank, n-1)
+		}
+		red, err := fanstore.ParseRedundancy(*redun)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if red.Mode != fanstore.RedundancyEC {
+			log.Fatalf("-chaos-kill-rank needs -redundancy ec(k,m); %q cannot reconstruct a lost rank", red)
+		}
+		cc = trainsim.ChaosConfig{
+			KillRank: *killRank, KillEpoch: *killAt, K: red.K, M: red.M,
+		}
+	}
 	tracers := make([]*trace.Tracer, n)
 	snaps := make([]metrics.RegistrySnapshot, n)
 	var elapsed time.Duration
@@ -209,12 +236,20 @@ func main() {
 		if *skew > 0 && rank == n-1 {
 			obs.Skew = *skew
 		}
-		rc := trainsim.ReplayConfig{Mode: trainsim.PrefetchWindow, Window: *window}
-		if *plan {
-			rc.Mode = trainsim.PrefetchPlanned
-			rc.AdmissionBytes = int64(*admitMB) << 20
+		var t time.Duration
+		if chaos {
+			rcc := cc
+			rcc.Rank = rank
+			t = cfg.TraceEpochsChaos(*simEpoch, *simFiles, rcc, obs)
+		} else {
+			rc := trainsim.ReplayConfig{Mode: trainsim.PrefetchWindow, Window: *window}
+			if *plan {
+				rc.Mode = trainsim.PrefetchPlanned
+				rc.AdmissionBytes = int64(*admitMB) << 20
+			}
+			t = cfg.TraceEpochsReplay(*simEpoch, *simFiles, rc, obs)
 		}
-		if t := cfg.TraceEpochsReplay(*simEpoch, *simFiles, rc, obs); t > elapsed {
+		if t > elapsed {
 			elapsed = t
 		}
 		snaps[rank] = reg.Snapshot()

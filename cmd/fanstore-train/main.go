@@ -50,8 +50,15 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of all ranks to this file")
 		report     = flag.Bool("report", false, "print the cluster-wide aggregated I/O report after training")
 		statsJSON  = flag.Bool("stats-json", false, "emit the final merged registry snapshot as one JSON object on stdout")
+		redun      = flag.String("redundancy", "", "accepted for symmetry with fanstore-daemon; ec(k,m) needs an elastic mount")
 	)
 	flag.Parse()
+
+	if red, err := fanstore.ParseRedundancy(*redun); err != nil {
+		log.Fatal(err)
+	} else if red.Mode == fanstore.RedundancyEC {
+		log.Fatal("-redundancy ec(k,m) needs an elastic mount; use fanstore-daemon -members with -redundancy instead")
+	}
 
 	kind, ok := kindByName(*dsName)
 	if !ok {

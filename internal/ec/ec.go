@@ -1,0 +1,383 @@
+// Package ec implements systematic Reed-Solomon erasure coding over
+// GF(2^8) — the redundancy mode behind FanStore's ec(k,m) partitions.
+// A stripe is split into k equal data shards and extended with m parity
+// shards; any k of the k+m shards reconstruct the stripe, so the
+// cluster tolerates m simultaneous node losses at m/k storage overhead
+// instead of the (n-1)x of whole-partition replication.
+//
+// The arithmetic is the classic byte-field construction: GF(2^8) with
+// the 0x11d reduction polynomial, log/exp tables for multiplication,
+// and a Cauchy parity matrix, whose every square submatrix is
+// nonsingular — stacking it under the identity yields an MDS code
+// (every k-row subset of the generator is invertible). Pure Go, stdlib
+// only, per the repo's substitution policy.
+package ec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field tables for GF(2^8) with reduction polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator 2. expTbl is doubled so
+// expTbl[logA+logB] needs no modular reduction; mulTbl flattens the
+// log/exp dance into one 64 KiB lookup for the slice kernels.
+var (
+	expTbl [512]byte
+	logTbl [256]byte
+	mulTbl [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTbl[i] = byte(x)
+		logTbl[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTbl[i] = expTbl[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		la := int(logTbl[a])
+		for b := 1; b < 256; b++ {
+			mulTbl[a][b] = expTbl[la+int(logTbl[b])]
+		}
+	}
+}
+
+func gfMul(a, b byte) byte { return mulTbl[a][b] }
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("ec: inverse of zero")
+	}
+	return expTbl[255-int(logTbl[a])]
+}
+
+// Errors surfaced by the codec.
+var (
+	// ErrShardSize reports shards of unequal (or zero) length.
+	ErrShardSize = errors.New("ec: shards must be non-empty and equal length")
+	// ErrShortSet reports fewer than k present shards — reconstruction
+	// is information-theoretically impossible.
+	ErrShortSet = errors.New("ec: too few shards to reconstruct")
+)
+
+// Code is one (k, m) erasure code: k data shards, m parity shards.
+// It is immutable after New and safe for concurrent use.
+type Code struct {
+	k, m int
+	// parity is the m x k Cauchy block of the generator matrix:
+	// parity[i][j] = 1/(x_i + y_j) with x_i = k+i, y_j = j — all
+	// distinct field elements, so every entry (and every square
+	// submatrix) is well-defined and nonsingular.
+	parity [][]byte
+}
+
+// New builds a (k, m) code. k >= 1, m >= 0, k+m <= 256.
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 0 || k+m > 256 {
+		return nil, fmt.Errorf("ec: invalid geometry k=%d m=%d (need k>=1, m>=0, k+m<=256)", k, m)
+	}
+	c := &Code{k: k, m: m, parity: make([][]byte, m)}
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = gfInv(byte(k+i) ^ byte(j))
+		}
+		c.parity[i] = row
+	}
+	return c, nil
+}
+
+// K returns the data shard count.
+func (c *Code) K() int { return c.k }
+
+// M returns the parity shard count.
+func (c *Code) M() int { return c.m }
+
+// Shards returns k+m, the total shard count.
+func (c *Code) Shards() int { return c.k + c.m }
+
+// ShardSize returns the per-shard length for a stripe of dataLen bytes:
+// ceil(dataLen/k), at least 1 so even an empty stripe round-trips.
+func (c *Code) ShardSize(dataLen int) int {
+	s := (dataLen + c.k - 1) / c.k
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Split copies data into a full k+m shard set: shards 0..k-1 carry the
+// stripe (the last one zero-padded), shards k..k+m-1 are allocated for
+// Encode to fill. The shards do not alias data.
+func (c *Code) Split(data []byte) [][]byte {
+	size := c.ShardSize(len(data))
+	shards := make([][]byte, c.Shards())
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < c.k {
+			lo := i * size
+			if lo < len(data) {
+				copy(shards[i], data[lo:])
+			}
+		}
+	}
+	return shards
+}
+
+// Join appends the stripe's first size bytes (concatenated data shards,
+// padding dropped) to dst and returns it. All k data shards must be
+// present and equal length.
+func (c *Code) Join(dst []byte, shards [][]byte, size int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, ErrShortSet
+	}
+	need := size
+	for i := 0; i < c.k && need > 0; i++ {
+		sh := shards[i]
+		if sh == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing", ErrShortSet, i)
+		}
+		n := len(sh)
+		if n > need {
+			n = need
+		}
+		dst = append(dst, sh[:n]...)
+		need -= n
+	}
+	if need > 0 {
+		return nil, fmt.Errorf("ec: shards hold %d bytes short of the %d-byte stripe", need, size)
+	}
+	return dst, nil
+}
+
+// Encode fills the m parity shards from the k data shards. shards must
+// hold k+m equal-length slices with data in 0..k-1; parity slices are
+// overwritten (allocated if nil).
+func (c *Code) Encode(shards [][]byte) error {
+	size, err := c.checkSet(shards, true)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.m; i++ {
+		if shards[c.k+i] == nil {
+			shards[c.k+i] = make([]byte, size)
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		out := shards[c.k+i]
+		for x := range out {
+			out[x] = 0
+		}
+		for j := 0; j < c.k; j++ {
+			addMul(out, shards[j], c.parity[i][j])
+		}
+	}
+	return nil
+}
+
+// Reconstruct rebuilds every nil shard in place from any k present
+// ones. shards must hold exactly k+m slots (nil = erased). On success
+// all k+m shards are present and consistent.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	size, err := c.checkSet(shards, false)
+	if err != nil {
+		return err
+	}
+	// Fast path: all data shards survive — only parity needs recompute.
+	missingData := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		if err := c.solveData(shards, size); err != nil {
+			return err
+		}
+	}
+	// With all data present, regenerate any missing parity directly.
+	for i := 0; i < c.m; i++ {
+		if shards[c.k+i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			addMul(out, shards[j], c.parity[i][j])
+		}
+		shards[c.k+i] = out
+	}
+	return nil
+}
+
+// solveData recovers the erased data shards: take the first k present
+// shards, invert their generator rows, and apply the inverse rows of
+// the missing data indices.
+func (c *Code) solveData(shards [][]byte, size int) error {
+	rows := make([]int, 0, c.k) // shard indices backing the k equations
+	for i := 0; i < c.Shards() && len(rows) < c.k; i++ {
+		if shards[i] != nil {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) < c.k {
+		return ErrShortSet
+	}
+	// sub[r] is generator row rows[r]: a unit vector for a data shard,
+	// the Cauchy row for a parity shard.
+	sub := make([][]byte, c.k)
+	for r, idx := range rows {
+		row := make([]byte, c.k)
+		if idx < c.k {
+			row[idx] = 1
+		} else {
+			copy(row, c.parity[idx-c.k])
+		}
+		sub[r] = row
+	}
+	inv, err := invert(sub)
+	if err != nil {
+		return err
+	}
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for r := 0; r < c.k; r++ {
+			addMul(out, shards[rows[r]], inv[d][r])
+		}
+		shards[d] = out
+	}
+	return nil
+}
+
+// Verify recomputes the parity shards and reports whether every present
+// parity shard matches. A full, consistent set returns true.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkSet(shards, true)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for i := 0; i < c.m; i++ {
+		have := shards[c.k+i]
+		if have == nil {
+			continue
+		}
+		for x := range buf {
+			buf[x] = 0
+		}
+		for j := 0; j < c.k; j++ {
+			addMul(buf, shards[j], c.parity[i][j])
+		}
+		for x := range buf {
+			if buf[x] != have[x] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// checkSet validates the shard slice: k+m slots, consistent sizes, and
+// (when needData) all data shards present. It returns the shard size.
+func (c *Code) checkSet(shards [][]byte, needData bool) (int, error) {
+	if len(shards) != c.Shards() {
+		return 0, fmt.Errorf("ec: got %d shards, want %d", len(shards), c.Shards())
+	}
+	size := -1
+	present := 0
+	for i, sh := range shards {
+		if sh == nil {
+			if needData && i < c.k {
+				return 0, fmt.Errorf("%w: data shard %d missing", ErrShortSet, i)
+			}
+			continue
+		}
+		present++
+		if size == -1 {
+			size = len(sh)
+		}
+		if len(sh) != size || size == 0 {
+			return 0, ErrShardSize
+		}
+	}
+	if present < c.k {
+		return 0, ErrShortSet
+	}
+	return size, nil
+}
+
+// invert Gauss-Jordan-inverts a k x k matrix over GF(2^8). The rows are
+// destroyed. A singular matrix is a caller bug (the code is MDS), but
+// it is reported, not panicked, so corrupted inputs fail cleanly.
+func invert(m [][]byte) ([][]byte, error) {
+	k := len(m)
+	inv := make([][]byte, k)
+	for i := range inv {
+		inv[i] = make([]byte, k)
+		inv[i][i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("ec: singular decode matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := m[col][col]; p != 1 {
+			pi := gfInv(p)
+			scaleRow(m[col], pi)
+			scaleRow(inv[col], pi)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			addMul(m[r], m[col], f)
+			addMul(inv[r], inv[col], f)
+		}
+	}
+	return inv, nil
+}
+
+func scaleRow(row []byte, f byte) {
+	t := &mulTbl[f]
+	for i, v := range row {
+		row[i] = t[v]
+	}
+}
+
+// addMul is the codec kernel: dst[i] ^= c * src[i]. The per-coefficient
+// 256-entry table turns the field multiply into one lookup per byte.
+func addMul(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, v := range src {
+			dst[i] ^= v
+		}
+		return
+	}
+	t := &mulTbl[c]
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] ^= t[v]
+	}
+}

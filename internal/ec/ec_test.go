@@ -1,0 +1,215 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// stripes of assorted awkward lengths: empty, sub-shard, exact
+// multiples, one over, and large.
+var stripeSizes = []int{0, 1, 3, 4, 5, 64, 1000, 4096, 4097, 1 << 16}
+
+func randStripe(t testing.TB, n int, seed int64) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestFieldTables(t *testing.T) {
+	// a * inv(a) == 1 for every nonzero element, and the mul table
+	// agrees with log/exp arithmetic.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a=%d: a*inv(a)=%d, want 1", a, got)
+		}
+	}
+	for a := 0; a < 256; a++ {
+		if got := gfMul(byte(a), 0); got != 0 {
+			t.Fatalf("a=%d: a*0=%d", a, got)
+		}
+		if got := gfMul(byte(a), 1); got != byte(a) {
+			t.Fatalf("a=%d: a*1=%d", a, got)
+		}
+	}
+	// Distributivity spot check: a*(b^c) == a*b ^ a*c.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails at a=%d b=%d c=%d", a, b, c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, geom := range [][2]int{{1, 0}, {2, 1}, {4, 2}, {6, 3}, {10, 4}} {
+		c, err := New(geom[0], geom[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range stripeSizes {
+			data := randStripe(t, n, int64(n)+1)
+			shards := c.Split(data)
+			if err := c.Encode(shards); err != nil {
+				t.Fatalf("k=%d m=%d n=%d: encode: %v", c.k, c.m, n, err)
+			}
+			if ok, err := c.Verify(shards); err != nil || !ok {
+				t.Fatalf("k=%d m=%d n=%d: verify=(%v,%v)", c.k, c.m, n, ok, err)
+			}
+			got, err := c.Join(nil, shards, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("k=%d m=%d n=%d: join mismatch", c.k, c.m, n)
+			}
+		}
+	}
+}
+
+// TestReconstructAllErasures drops every possible subset of up to m
+// shards for (4,2) and (2,1) and reconstructs the original stripe.
+func TestReconstructAllErasures(t *testing.T) {
+	for _, geom := range [][2]int{{2, 1}, {4, 2}} {
+		k, m := geom[0], geom[1]
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randStripe(t, 4099, int64(k*100+m))
+		orig := c.Split(data)
+		if err := c.Encode(orig); err != nil {
+			t.Fatal(err)
+		}
+		total := k + m
+		// Enumerate erasure patterns as bitmasks with popcount <= m.
+		for mask := 0; mask < 1<<total; mask++ {
+			dropped := 0
+			for b := 0; b < total; b++ {
+				if mask&(1<<b) != 0 {
+					dropped++
+				}
+			}
+			if dropped == 0 || dropped > m {
+				continue
+			}
+			shards := make([][]byte, total)
+			for i := range shards {
+				if mask&(1<<i) == 0 {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("k=%d m=%d mask=%b: %v", k, m, mask, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("k=%d m=%d mask=%b: shard %d differs after reconstruct", k, m, mask, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := c.Split(randStripe(t, 1024, 3))
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Drop m+1 shards: reconstruction must refuse, not fabricate.
+	shards[0], shards[2], shards[5] = nil, nil, nil
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct with k-1 shards succeeded")
+	}
+}
+
+func TestMismatchedShardSizes(t *testing.T) {
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := c.Split(randStripe(t, 300, 9))
+	shards[1] = shards[1][:len(shards[1])-1]
+	if err := c.Encode(shards); err == nil {
+		t.Fatal("encode accepted unequal shard sizes")
+	}
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct accepted unequal shard sizes")
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	for _, geom := range [][2]int{{0, 2}, {-1, 1}, {4, -1}, {200, 100}} {
+		if _, err := New(geom[0], geom[1]); err == nil {
+			t.Fatalf("New(%d,%d) accepted", geom[0], geom[1])
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := c.Split(randStripe(t, 2048, 11))
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[2][17] ^= 0x40
+	ok, err := c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("verify passed a corrupted shard")
+	}
+}
+
+// Benchmarks: the encode and reconstruct throughput the cluster report's
+// rebuild-rate line depends on. 4+2 over a 1 MiB stripe.
+func benchCode(b *testing.B) (*Code, [][]byte, int) {
+	b.Helper()
+	c, err := New(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const stripe = 1 << 20
+	shards := c.Split(randStripe(b, stripe, 42))
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	return c, shards, stripe
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, shards, stripe := benchCode(b)
+	b.SetBytes(int64(stripe))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructTwoLost(b *testing.B) {
+	c, orig, stripe := benchCode(b)
+	b.SetBytes(int64(stripe))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(orig))
+		for j := range orig {
+			shards[j] = orig[j]
+		}
+		shards[1], shards[3] = nil, nil // two data shards lost
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

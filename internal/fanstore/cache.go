@@ -431,14 +431,21 @@ func (c *Cache) StagedBytes() int64 {
 	return c.staged.Load()
 }
 
-// Headroom reports the capacity the replacement policy could free for
-// new staged data: everything not held by a live reader. The epoch
-// planner's admission control never stages beyond it — staging more
-// would evict staged-but-unread entries and turn the plan against
-// itself. Unpinned already-read entries count as headroom because they
-// are evictable the moment pressure arrives.
+// Headroom reports the capacity still available for new staged data:
+// capacity minus pinned minus already-staged bytes. The epoch planner's
+// admission control never stages beyond it — staging more would evict
+// staged-but-unread entries and turn the plan against itself. Unpinned
+// already-read entries count as headroom because they are evictable the
+// moment pressure arrives.
+//
+// The three atomics are read independently while the data path mutates
+// them, so the sampled sum can transiently exceed capacity — a pin can
+// land before the staged-byte decrement of the same Acquire is visible.
+// The clamp keeps such a sample at zero instead of letting the
+// subtraction go negative, which (cast or compared carelessly upstream)
+// disabled the scheduler's admission gate entirely.
 func (c *Cache) Headroom() int64 {
-	h := c.capacity - c.pinnedB.Load()
+	h := c.capacity - c.pinnedB.Load() - c.staged.Load()
 	if h < 0 {
 		return 0
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -240,5 +241,99 @@ func TestPolicyString(t *testing.T) {
 		if p.String() != want {
 			t.Fatalf("%d.String() = %q", int(p), p.String())
 		}
+	}
+}
+
+// TestCacheHeadroomAccounting pins the deterministic definition of
+// Headroom: capacity minus pinned minus staged bytes, never negative.
+// Pinning past capacity (allowed — pinned entries cannot be evicted)
+// must clamp to zero rather than go negative, which upstream admission
+// code would misread as unlimited room.
+func TestCacheHeadroomAccounting(t *testing.T) {
+	c := NewCacheShards(1000, FIFO, 1)
+	if h := c.Headroom(); h != 1000 {
+		t.Fatalf("empty cache headroom = %d, want 1000", h)
+	}
+	c.Insert("a", make([]byte, 400)) // pinned
+	if h := c.Headroom(); h != 600 {
+		t.Fatalf("after 400 pinned, headroom = %d, want 600", h)
+	}
+	c.InsertIdle("b", make([]byte, 300)) // staged
+	if h := c.Headroom(); h != 300 {
+		t.Fatalf("after 300 staged, headroom = %d, want 300", h)
+	}
+	// Pin two more large entries: pinned total 1200 > capacity. The
+	// subtraction would be negative; Headroom must clamp.
+	c.Insert("c", make([]byte, 400))
+	c.Insert("d", make([]byte, 400))
+	if h := c.Headroom(); h != 0 {
+		t.Fatalf("overpinned cache headroom = %d, want 0", h)
+	}
+	st := c.Stats()
+	if st.PinnedBytes != 1200 || st.StagedBytes > 300 {
+		t.Fatalf("accounting drifted: %+v", st)
+	}
+	// Releasing the pins restores positive headroom.
+	c.Release("a")
+	c.Release("c")
+	c.Release("d")
+	if h := c.Headroom(); h < 0 {
+		t.Fatalf("headroom went negative after release: %d", h)
+	}
+}
+
+// TestCacheHeadroomNeverNegativeUnderStorm races Acquire/Release/
+// InsertIdle against a Headroom poller. A pin can land before the same
+// Acquire's staged-byte decrement is visible, so the raw subtraction
+// transiently exceeds capacity; the clamp must keep every sample >= 0.
+// Run with -race.
+func TestCacheHeadroomNeverNegativeUnderStorm(t *testing.T) {
+	c := NewCacheShards(4<<10, FIFO, 2)
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var pollers sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if h := c.Headroom(); h < 0 {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%12)
+				if i%3 == 0 {
+					c.InsertIdle(key, make([]byte, 512))
+				}
+				if _, ok := c.Acquire(key); ok {
+					c.Release(key)
+				} else {
+					c.Insert(key, make([]byte, 512))
+					c.Release(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("Headroom sampled negative %d times", n)
+	}
+	if h := c.Headroom(); h < 0 || h > 4<<10 {
+		t.Fatalf("quiesced headroom %d out of [0, %d]", h, 4<<10)
 	}
 }

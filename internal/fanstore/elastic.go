@@ -54,6 +54,12 @@ type ElasticOptions struct {
 	// NodeCapacity bounds each member's partition bytes for rebalance
 	// planning (0: effectively unbounded — the aggregate dataset size).
 	NodeCapacity int64
+	// PullTimeout bounds how long the coordinator waits for a dispatched
+	// partition pull to ack before treating the destination as failed and
+	// re-planning the transfer (default 30s). A destination that dies
+	// mid-pull never acks — without the watchdog the partition would park
+	// in the registry forever.
+	PullTimeout time.Duration
 }
 
 // transfer is one partition changing owner in a rebalance.
@@ -83,12 +89,18 @@ type coordState struct {
 	closing bool
 }
 
+// maxJobAttempts bounds how many dispatch rounds one rebalance job may
+// run (the first round plus re-plans of its failures) before the job
+// fails loudly: the failed transfers are dropped, rebalance.jobs.failed
+// counts the job, and the partitions keep their current owner.
+const maxJobAttempts = 3
+
 // rebalanceJob tracks one in-flight join or leave rebalance.
 type rebalanceJob struct {
 	transfers map[uint64]transfer // pending pulls, keyed by gid
 	done      []transfer          // acked pulls (these commit)
-	failed    []transfer          // failed pulls (redispatched once, then dropped)
-	retried   bool                // the one retry round has run
+	failed    []transfer          // failed pulls (re-planned against the refreshed map)
+	attempts  int                 // dispatch rounds run so far
 	leaver    member.NodeID       // NoNode for a join
 	leaveRank int
 }
@@ -113,6 +125,7 @@ type elasticCtrl struct {
 
 	rebalBytes   *metrics.Counter
 	rebalPending *metrics.Gauge
+	jobsFailed   *metrics.Counter
 }
 
 type commitWaiter struct {
@@ -130,6 +143,7 @@ func newElasticCtrl(n *Node, mem *member.Membership, coordRank int, opts Elastic
 		byeAck:       make(chan struct{}),
 		rebalBytes:   n.reg.Counter("rebalance.bytes.moved"),
 		rebalPending: n.reg.Gauge("rebalance.partitions.pending"),
+		jobsFailed:   n.reg.Counter("rebalance.jobs.failed"),
 	}
 	if mem.IsCoordinator() {
 		e.coord = &coordState{
@@ -177,7 +191,9 @@ func MountElastic(comm *mpi.Comm, partitions [][]byte, opts ElasticOptions) (*No
 	var localMetas []FileMeta
 	var localParts []*partRec
 	for i, blob := range partitions {
-		gid := uint64(mem.ID())<<32 | uint64(i)
+		// +1 keeps every gid nonzero, so FileMeta.PartGID == 0 can mean
+		// "not in any partition" (written files, static mounts).
+		gid := uint64(mem.ID()+1)<<32 | uint64(i)
 		metas, err := n.loadPartitionGID(gid, blob)
 		if err != nil {
 			mem.Close()
@@ -257,6 +273,25 @@ func MountElastic(comm *mpi.Comm, partitions [][]byte, opts ElasticOptions) (*No
 	n.daemon.Add(1)
 	go n.server.Serve()
 	go n.serveWriteMeta()
+
+	if n.ec != nil {
+		// Initial shard placement: every owner splits its partitions into
+		// k+m erasure shards and scatters them under the initial-member
+		// map. Non-coordinators sync their view first — admission
+		// broadcasts may still be in flight, but by table time every
+		// initial member has registered, so the synced map is complete.
+		// Each rank's own server is already serving, so the cross-pushes
+		// cannot deadlock: requests queue in mailboxes until every peer
+		// reaches its serve loop.
+		if !mem.IsCoordinator() {
+			if _, err := mem.Sync(); err != nil {
+				return nil, fmt.Errorf("fanstore: elastic mount: %w", err)
+			}
+		}
+		if err := n.ecPushShards(false); err != nil {
+			return nil, fmt.Errorf("fanstore: elastic mount: shard placement: %w", err)
+		}
+	}
 	return n, nil
 }
 
@@ -483,14 +518,26 @@ func (e *elasticCtrl) startJob(job *rebalanceJob) {
 		e.commitJob(job)
 		return
 	}
-	e.dispatch(transfers)
+	e.dispatch(job, transfers)
 }
 
 // dispatch fires the ctrlMove for each transfer (or pulls directly when
 // the coordinator itself is the destination). A transfer that cannot be
 // dispatched is recorded as failed through moveFinished like any other
-// failed pull.
-func (e *elasticCtrl) dispatch(transfers []transfer) {
+// failed pull. A watchdog reaps transfers still pending after
+// PullTimeout — a destination that died mid-pull never acks, and
+// without the reap its partition would park in the registry with the
+// job wedged active forever.
+func (e *elasticCtrl) dispatch(job *rebalanceJob, transfers []transfer) {
+	gids := make([]uint64, len(transfers))
+	for i, tr := range transfers {
+		gids[i] = tr.gid
+	}
+	timeout := e.opts.PullTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	time.AfterFunc(timeout, func() { e.reapStalled(job, gids) })
 	m := e.n.view.Map()
 	for _, tr := range transfers {
 		rank, err := m.RankOf(tr.to)
@@ -513,6 +560,28 @@ func (e *elasticCtrl) dispatch(transfers []transfer) {
 		if err := e.n.comm.Send(rank, tagCtrl, frame); err != nil {
 			e.moveFinished(tr.gid, false)
 		}
+	}
+}
+
+// reapStalled fails every transfer of this dispatch round still pending
+// after the pull timeout. moveFinished ignores gids no longer pending,
+// so a real ack racing the reap (either order) is counted exactly once;
+// the job identity check keeps a stale timer from touching a later job.
+func (e *elasticCtrl) reapStalled(job *rebalanceJob, gids []uint64) {
+	var stalled []uint64
+	e.mu.Lock()
+	if e.coord == nil || e.coord.active != job {
+		e.mu.Unlock()
+		return
+	}
+	for _, gid := range gids {
+		if _, ok := job.transfers[gid]; ok {
+			stalled = append(stalled, gid)
+		}
+	}
+	e.mu.Unlock()
+	for _, gid := range stalled {
+		e.moveFinished(gid, false)
 	}
 }
 
@@ -596,6 +665,20 @@ func (e *elasticCtrl) pullPartition(gid uint64, from member.NodeID) {
 			}
 		}
 	}
+	if !ok && e.n.ec != nil {
+		// The old owner is unreachable — dead, or already out of the map.
+		// On an ec mount the blob is still recoverable from surviving
+		// shards: rebuild it and become the owner. This is the repair
+		// pull: it restores an owned full copy without any replica of the
+		// lost partition existing anywhere.
+		if dp, err := e.n.ecRebuildPart(gid); err == nil {
+			if _, err := e.n.loadPartitionGID(gid, dp.blob); err == nil {
+				e.n.ec.repairBytes.Add(int64(len(dp.blob)))
+				e.rebalBytes.Add(int64(len(dp.blob)))
+				ok = true
+			}
+		}
+	}
 	frame := make([]byte, 10)
 	frame[0] = ctrlMoved
 	binary.LittleEndian.PutUint64(frame[1:], gid)
@@ -639,24 +722,50 @@ func (e *elasticCtrl) moveFinished(gid uint64, ok bool) {
 }
 
 // finishJob runs once the active job has no outstanding transfers.
-// Failed pulls get one redispatch round — a transient fetch error or a
-// destination still warming up usually succeeds on the second try —
-// then the job commits with whatever landed: un-moved partitions keep
-// their old owner, and a leaver that still owns data is refused its
-// drain ack (see commitJob) so its only copies never leave the cluster.
+// Failed pulls are re-planned against the refreshed map and
+// redispatched — a destination that died mid-pull is out of Alive()
+// once marked dead, so the retry targets a live node instead of
+// redialing the corpse — up to maxJobAttempts rounds. Then the job
+// fails loudly: rebalance.jobs.failed counts it and it commits with
+// whatever landed — un-moved partitions keep their old owner, and a
+// leaver that still owns data is refused its drain ack (see commitJob)
+// so its only copies never leave the cluster.
 func (e *elasticCtrl) finishJob(job *rebalanceJob) {
 	e.mu.Lock()
-	if len(job.failed) > 0 && !job.retried {
-		job.retried = true
-		retry := job.failed
+	if len(job.failed) > 0 && job.attempts+1 < maxJobAttempts {
+		job.attempts++
+		failedSet := make(map[uint64]bool, len(job.failed))
+		for _, tr := range job.failed {
+			failedSet[tr.gid] = true
+		}
 		job.failed = nil
+		e.mu.Unlock()
+		// planRebalance locks e.mu itself; it must run unlocked. The job
+		// stays active throughout, so no commit can interleave.
+		planned := e.planRebalance(job.leaver)
+		var retry []transfer
+		for _, tr := range planned {
+			if failedSet[tr.gid] {
+				retry = append(retry, tr)
+			}
+		}
+		if len(retry) == 0 {
+			// The refreshed plan no longer moves the failed partitions —
+			// they stay with their current owner; commit what landed.
+			e.commitJob(job)
+			return
+		}
+		e.mu.Lock()
 		for _, tr := range retry {
 			job.transfers[tr.gid] = tr
 		}
 		e.rebalPending.Set(int64(len(job.transfers)))
 		e.mu.Unlock()
-		e.dispatch(retry)
+		e.dispatch(job, retry)
 		return
+	}
+	if len(job.failed) > 0 {
+		e.jobsFailed.Inc()
 	}
 	e.mu.Unlock()
 	e.commitJob(job)
@@ -739,12 +848,47 @@ func (e *elasticCtrl) applyCommit(cm *member.ClusterMap, transfers []transfer, m
 	for i := range metas {
 		e.n.addMeta(metas[i])
 	}
+	var takenOver []uint64
 	for _, tr := range transfers {
 		if tr.from == e.n.selfID {
 			e.n.dropPartition(tr.gid)
 		}
+		if tr.to == e.n.selfID {
+			takenOver = append(takenOver, tr.gid)
+		}
+	}
+	if e.n.ec != nil {
+		// The moved partitions have live owners again: degraded reads for
+		// them end here — drop the reconstructed blobs so subsequent
+		// reads route normally and stop counting ec.degraded.reads.
+		gids := make([]uint64, len(transfers))
+		for i, tr := range transfers {
+			gids[i] = tr.gid
+		}
+		e.n.ecDropDegraded(gids)
+		if len(takenOver) > 0 {
+			// New owner: re-encode and re-scatter the shards under the
+			// post-commit map, restoring full m-loss redundancy (shards
+			// previously held by the dead node are regenerated). Async —
+			// reads are already healthy, only redundancy is catching up.
+			go e.repushShards(cm, takenOver)
+		}
 	}
 	e.signalWaiters()
+}
+
+// repushShards re-places the erasure shards of partitions this node
+// just took ownership of. The pushed bytes count into ec.repair.bytes —
+// this is the traffic that restores redundancy after a loss or move.
+func (e *elasticCtrl) repushShards(cm *member.ClusterMap, gids []uint64) {
+	for _, gid := range gids {
+		e.n.mu.RLock()
+		p := e.n.parts[gid]
+		e.n.mu.RUnlock()
+		if p != nil {
+			_ = e.n.ecPushPartition(cm, p, true)
+		}
+	}
 }
 
 // noteBye records a member's shutdown intent; once every alive member
@@ -870,6 +1014,56 @@ func (n *Node) RebalancedBytes() int64 {
 		return 0
 	}
 	return n.ectrl.rebalBytes.Value()
+}
+
+// MarkDead declares a member failed: the coordinator publishes the
+// node as StateDead (routes to it start erroring toward refresh) and
+// queues a repair rebalance that re-homes its partitions onto the
+// survivors — on an ec mount by reconstructing them from surviving
+// shards, there being no live full copy to pull. Coordinator-only; the
+// failure detection itself (missed heartbeats, a scheduler signal) is
+// the caller's.
+func (n *Node) MarkDead(id member.NodeID) error {
+	e := n.ectrl
+	if e == nil {
+		return fmt.Errorf("fanstore: MarkDead on a static mount")
+	}
+	if !n.mem.IsCoordinator() {
+		return fmt.Errorf("fanstore: MarkDead is coordinator-only")
+	}
+	if id == n.selfID {
+		return fmt.Errorf("fanstore: the coordinator cannot mark itself dead")
+	}
+	if _, err := n.mem.SetState(id, member.StateDead); err != nil {
+		return err
+	}
+	n.mapVersion.Set(int64(n.view.Version()))
+	e.enqueueJob(&rebalanceJob{leaver: id, leaveRank: -1}, member.NoNode)
+	return nil
+}
+
+// FailStop simulates this node crashing, for chaos testing: every
+// daemon stops without any leave/bye handshake, so peers' calls to it
+// time out exactly as they would against a dead process. The rank's
+// goroutines are reaped (the test harness still needs the rank to
+// return from mpi.Run), but no cluster-visible goodbye is sent — the
+// survivors must detect the death and MarkDead it.
+func (n *Node) FailStop() {
+	if n.closed.Swap(true) {
+		return
+	}
+	n.server.Stop()
+	_ = n.comm.Send(n.comm.Rank(), tagCtrl, nil) // poison the ctrl loop
+	if n.ectrl != nil {
+		n.ectrl.wg.Wait()
+	}
+	if n.mem != nil {
+		n.mem.Close()
+	}
+	_ = n.comm.Send(n.comm.Rank(), tagWriteMeta, nil)
+	n.daemon.Wait()
+	n.decode.Close()
+	_ = n.backend.Close()
 }
 
 // encodeTable frames the full metadata table (coordinator's view).

@@ -3,6 +3,7 @@ package fanstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -379,6 +380,73 @@ func TestElasticLeaveDrains(t *testing.T) {
 			}
 		}
 		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVanishedObjectBoundsRefreshLoop is the stale-map-loop regression
+// test: a metadata record naming an owner that authoritatively does not
+// hold the object (a genuinely deleted/ghost file) must not spin the
+// refresh-and-retry loop. The fetch is allowed at most two map
+// refreshes, and the caller gets a distinguishable ErrVanished instead
+// of a generic transport error.
+func TestVanishedObjectBoundsRefreshLoop(t *testing.T) {
+	bundle, want := buildBundle(t, dataset.EM, 8, 2, 4<<10, nil)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		node, err := MountElastic(c, [][]byte{bundle.Scatter[c.Rank()]}, ElasticOptions{
+			Options:        Options{CacheBytes: 1 << 20},
+			InitialMembers: 2,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		if c.Rank() != 0 {
+			// Serve fetches (each will answer not-found) until rank 0 is done.
+			_, _, err := c.Recv(0, tagTestReady)
+			return err
+		}
+
+		// Inject a ghost record: the map is current, the named owner is
+		// alive, but no rank holds the object — the deleted-file shape.
+		node.addMeta(FileMeta{
+			Path:       "ghost/deleted.bin",
+			Size:       64,
+			Owner:      1,
+			MapVersion: node.MapVersion(),
+		})
+		before := node.mapRefreshes.Value()
+		_, err = node.ReadFile("ghost/deleted.bin")
+		if err == nil {
+			return fmt.Errorf("reading a ghost object succeeded")
+		}
+		if !errors.Is(err, ErrVanished) {
+			return fmt.Errorf("ghost read error = %v, want ErrVanished", err)
+		}
+		if d := node.mapRefreshes.Value() - before; d > 2 {
+			return fmt.Errorf("ghost read spun %d map refreshes, want <= 2", d)
+		}
+		// A second read must stay bounded too (no per-path state leak).
+		before = node.mapRefreshes.Value()
+		if _, err := node.ReadFile("ghost/deleted.bin"); err == nil {
+			return fmt.Errorf("second ghost read succeeded")
+		}
+		if d := node.mapRefreshes.Value() - before; d > 2 {
+			return fmt.Errorf("second ghost read spun %d refreshes, want <= 2", d)
+		}
+		// Real objects still read fine after the vanished diagnosis.
+		for p, w := range want {
+			got, err := node.ReadFile(p)
+			if err != nil {
+				return fmt.Errorf("%s after ghost: %w", p, err)
+			}
+			if !bytes.Equal(got, w) {
+				return fmt.Errorf("%s after ghost: content mismatch", p)
+			}
+		}
+		return c.Send(1, tagTestReady, nil)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,13 @@ type FileMeta struct {
 	// member.StaticMap version, so the check degenerates to a no-op.
 	MapVersion uint64
 
+	// PartGID is the cluster-wide id of the partition blob this object
+	// lives in (0 on static mounts and for written files, which belong
+	// to no packed partition). Erasure-coded mounts key the degraded
+	// read path on it: when every whole-object route is gone the reader
+	// reconstructs partition PartGID from surviving shards.
+	PartGID uint64
+
 	// Replicas lists extra node IDs whose backend also holds the
 	// compressed object (ring replication, §V-D). Populated from the
 	// replica announcements exchanged during Mount and carried by
@@ -47,7 +54,7 @@ const maxReplicaFan = 255
 func encodeMetas(metas []FileMeta) []byte {
 	size := 4
 	for i := range metas {
-		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 1 + 4*minInt(len(metas[i].Replicas), maxReplicaFan)
+		size += 2 + len(metas[i].Path) + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 8 + 1 + 4*minInt(len(metas[i].Replicas), maxReplicaFan)
 	}
 	out := make([]byte, 0, size)
 	var b [8]byte
@@ -77,6 +84,8 @@ func encodeMetas(metas []FileMeta) []byte {
 		}
 		binary.LittleEndian.PutUint64(b[:], m.MapVersion)
 		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], m.PartGID)
+		out = append(out, b[:]...)
 		nr := minInt(len(m.Replicas), maxReplicaFan)
 		out = append(out, byte(nr))
 		for _, r := range m.Replicas[:nr] {
@@ -95,7 +104,7 @@ func decodeMetas(src []byte) ([]FileMeta, error) {
 	off := 4
 	// The declared count is untrusted; bound the preallocation by what
 	// the frame could physically hold.
-	const fixed = 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 1
+	const fixed = 2 + 8 + 4 + 8 + 4 + 2 + 4 + 1 + 8 + 8 + 1
 	out := make([]FileMeta, 0, minInt(n, (len(src)-off)/fixed))
 	for i := 0; i < n; i++ {
 		if off+2 > len(src) {
@@ -123,6 +132,8 @@ func decodeMetas(src []byte) ([]FileMeta, error) {
 		m.Written = src[off] == 1
 		off++
 		m.MapVersion = binary.LittleEndian.Uint64(src[off:])
+		off += 8
+		m.PartGID = binary.LittleEndian.Uint64(src[off:])
 		off += 8
 		nr := int(src[off])
 		off++

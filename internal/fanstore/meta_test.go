@@ -8,9 +8,9 @@ import (
 
 func TestMetaEncodeDecode(t *testing.T) {
 	in := []FileMeta{
-		{Path: "a/b/c.jpg", Size: 12345, Mode: 0o644, MTime: 99, CRC32: 0xdeadbeef, CompressorID: 7, Owner: 3, MapVersion: 9, Replicas: []int32{1, 2}},
+		{Path: "a/b/c.jpg", Size: 12345, Mode: 0o644, MTime: 99, CRC32: 0xdeadbeef, CompressorID: 7, Owner: 3, MapVersion: 9, PartGID: 5<<32 | 1, Replicas: []int32{1, 2}},
 		{Path: "x.txt", Size: 0, Owner: 0, Written: true},
-		{Path: "deep/nested/dir/file.bin", Size: 1 << 40, CompressorID: 191, Owner: 511, MapVersion: 1 << 33, Replicas: []int32{510}},
+		{Path: "deep/nested/dir/file.bin", Size: 1 << 40, CompressorID: 191, Owner: 511, MapVersion: 1 << 33, PartGID: 1 << 40, Replicas: []int32{510}},
 	}
 	out, err := decodeMetas(encodeMetas(in))
 	if err != nil {

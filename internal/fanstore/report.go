@@ -167,6 +167,21 @@ func (r *ClusterReport) Render(w io.Writer) {
 			r.Merged.Gauges["member.map.version"].Max,
 			r.counterTotal("fanstore.map.refreshes"))
 	}
+	// Erasure-coded clusters that lost (or repaired) a rank: how reads
+	// behaved while the stripe was short. Degraded reads and repaired
+	// bytes are both zero on a healthy run, which keeps the line out of
+	// the fair-weather report.
+	if deg, rep := r.counterTotal("ec.degraded.reads"), r.counterTotal("ec.repair.bytes"); deg > 0 || rep > 0 {
+		line := fmt.Sprintf("ec: degraded reads=%d", deg)
+		if s, ok := r.Merged.Histograms["ec.reconstruct.latency"]; ok && s.Count > 0 {
+			line += fmt.Sprintf("  reconstruct p99=%v", s.P99)
+		}
+		line += fmt.Sprintf("  repaired=%d B", rep)
+		if r.Options.Elapsed > 0 && rep > 0 {
+			line += fmt.Sprintf(" (%.1f MB/s)", float64(rep)/r.Options.Elapsed.Seconds()/1e6)
+		}
+		fmt.Fprintf(w, "%s\n", line)
+	}
 	var spread []string
 	for rank, s := range r.PerRank {
 		spread = append(spread, fmt.Sprintf("r%d=%v", rank, s.Histograms[r.Options.StragglerMetric].P99))

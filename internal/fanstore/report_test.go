@@ -116,3 +116,33 @@ func TestGatherReportCollective(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReportRendersECLine checks the degraded-read line: absent on a
+// healthy run, present — with reconstruct p99 and rebuild throughput —
+// once a rank loss put erasure reads on the reconstruction path.
+func TestReportRendersECLine(t *testing.T) {
+	healthy := BuildClusterReport([]metrics.RegistrySnapshot{
+		rankSnapshot(10, 100*time.Microsecond),
+	}, ReportOptions{})
+	if strings.Contains(healthy.String(), "ec:") {
+		t.Fatalf("healthy report renders an ec line:\n%s", healthy.String())
+	}
+
+	reg := metrics.NewRegistry()
+	reg.Counter("fanstore.opens.remote").Add(40)
+	reg.Counter("ec.degraded.reads").Add(17)
+	reg.Counter("ec.repair.bytes").Add(3 << 20)
+	for i := 0; i < 8; i++ {
+		reg.Histogram("ec.reconstruct.latency").Observe(3 * time.Millisecond)
+	}
+	r := BuildClusterReport([]metrics.RegistrySnapshot{reg.Snapshot()},
+		ReportOptions{Elapsed: 2 * time.Second})
+	out := r.String()
+	for _, want := range []string{
+		"ec: degraded reads=17", "reconstruct p99=", "repaired=3145728 B", "MB/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ec report missing %q:\n%s", want, out)
+		}
+	}
+}

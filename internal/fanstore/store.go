@@ -37,6 +37,7 @@ import (
 
 	"fanstore/internal/codec"
 	"fanstore/internal/decomp"
+	"fanstore/internal/ec"
 	"fanstore/internal/member"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
@@ -82,6 +83,15 @@ const (
 	// coordinator (the stale-map refresh's metadata half); the response
 	// is encodeMetas of zero or one record.
 	opMetaSync = byte(4)
+	// opFetchShard requests every erasure shard of one partition held by
+	// the answering node ([u64 gid]); the response is a concatenation of
+	// pack shard frames. Degraded reads and shard repair gather through
+	// it (ec redundancy mode only).
+	opFetchShard = byte(5)
+	// opStoreShard delivers one or more shard frames for the answering
+	// node to hold — the shard-placement half of ec redundancy. Re-pushes
+	// of the same (gid, index) overwrite.
+	opStoreShard = byte(6)
 )
 
 // batchGetConcurrency bounds concurrent backend reads inside one
@@ -101,7 +111,30 @@ var (
 	ErrWriteOnly  = errors.New("fanstore: file not open for reading")
 	ErrUnmounted  = errors.New("fanstore: node unmounted")
 	ErrRemoteGone = errors.New("fanstore: remote fetch failed")
+	// ErrVanished reports a fetch whose every candidate authoritatively
+	// answered not-found on a current map: the object is genuinely gone
+	// (deleted, or its record outlived its data), as opposed to
+	// ErrRemoteGone's unreachable-or-stale routes. It matches ErrNotExist
+	// and ErrRemoteGone under errors.Is for backward compatibility.
+	ErrVanished = errors.New("fanstore: object vanished")
 )
+
+// vanishedError carries the vanished diagnosis while staying matchable
+// as the not-found and remote-failure families callers already handle.
+type vanishedError struct {
+	path string
+	err  error
+}
+
+func (e *vanishedError) Error() string {
+	return fmt.Sprintf("fanstore: %q vanished: every candidate reports not-found on a current map (%v)", e.path, e.err)
+}
+
+func (e *vanishedError) Is(target error) bool {
+	return target == ErrVanished || target == ErrNotExist || target == ErrRemoteGone
+}
+
+func (e *vanishedError) Unwrap() error { return e.err }
 
 // Options configures a Node.
 type Options struct {
@@ -155,6 +188,13 @@ type Options struct {
 	// fetch+decode work for the same path, reproducing the duplicate-
 	// fetch behaviour for comparison benchmarks and ablations.
 	DisableCoalescing bool
+	// Redundancy selects the fault-tolerance mode: whole-partition
+	// replication (default) or ec(k,m) erasure coding, which stripes
+	// every partition into k data + m parity shards scattered across the
+	// cluster at m/k overhead (see ParseRedundancy for the flag syntax).
+	// Erasure coding requires an elastic mount — the shard placement and
+	// the repair job route through the membership coordinator.
+	Redundancy Redundancy
 	// Metrics re-homes every data-path instrument (cache, rpc, store) in
 	// a shared registry, so one snapshot captures the whole rank and the
 	// cluster report can merge rank snapshots name-by-name. Nil means a
@@ -267,6 +307,7 @@ type Node struct {
 	elastic bool
 	mem     *member.Membership // nil on static mounts
 	ectrl   *elasticCtrl       // elastic control plane; nil on static mounts
+	ec      *ecState           // erasure redundancy; nil on replicate mounts
 
 	mu   sync.RWMutex
 	meta map[string]*FileMeta
@@ -401,6 +442,16 @@ func newNode(comm *mpi.Comm, view *member.View, selfID member.NodeID, elastic bo
 		batchItems: batchItems,
 		reg:        reg,
 		tracer:     opts.Tracer,
+	}
+	if opts.Redundancy.Mode == RedundancyEC {
+		if !elastic {
+			return nil, fmt.Errorf("fanstore: ec redundancy requires an elastic mount (static mounts replicate)")
+		}
+		code, err := ec.New(opts.Redundancy.K, opts.Redundancy.M)
+		if err != nil {
+			return nil, err
+		}
+		n.ec = newECState(code, reg)
 	}
 	n.instrument()
 	n.mapVersion.Set(int64(view.Version()))
@@ -549,6 +600,7 @@ func (n *Node) loadPartitionGID(gid uint64, blob []byte) ([]FileMeta, error) {
 	}
 	paths := make([]string, len(metas))
 	for i := range metas {
+		metas[i].PartGID = gid
 		paths[i] = metas[i].Path
 	}
 	n.mu.Lock()
@@ -618,6 +670,10 @@ func (n *Node) handleFetch(_ int, payload []byte) ([]byte, error) {
 		return n.handleFetchPart(payload[1:])
 	case opMetaSync:
 		return n.handleMetaSync(payload[1:])
+	case opFetchShard:
+		return n.handleFetchShard(payload[1:])
+	case opStoreShard:
+		return n.handleStoreShard(payload[1:])
 	default:
 		return nil, fmt.Errorf("fanstore: unknown fetch op %d", payload[0])
 	}
@@ -826,18 +882,25 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 	}()
 	// Two refreshes bound the recovery loop: one covers the common
 	// "commit landed between my meta read and my fetch" race, the second
-	// a commit racing the refresh itself.
+	// a commit racing the refresh itself. The cap is what keeps a
+	// genuinely deleted object — whose every fetch answers not-found and
+	// whose every refresh returns the same doomed record — from spinning
+	// the refresh loop forever; after it trips, the all-misses pass is
+	// diagnosed as ErrVanished below rather than retried.
 	const maxRefreshes = 2
+	refreshes := 0
 	var lastErr error
-	for pass := 0; ; pass++ {
+	aborted := false
+	allNotFound := false
+	for {
 		cands := n.fetchCandidates(m)
 		if len(cands) == 0 {
-			outcome = trace.OutcomeError
-			return 0, nil, outcome, fmt.Errorf("%w: no remote node serves %q", ErrRemoteGone, path)
+			lastErr = fmt.Errorf("no remote node serves %q", path)
+			break
 		}
 		first := int(n.routeSeq.Add(1)) % len(cands)
 		stale := false
-		aborted := false
+		attempts, misses := 0, 0
 		for i := 0; i < len(cands); i++ {
 			id := cands[(first+i)%len(cands)]
 			dst, err := n.view.Resolve(id)
@@ -848,6 +911,7 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 				stale = true
 				continue
 			}
+			attempts++
 			var req []byte
 			if n.elastic {
 				req = make([]byte, 9, 9+len(path))
@@ -875,15 +939,18 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 				stale = true
 				continue // a refresh, not a failover, fixes this
 			}
-			if n.elastic && errors.Is(err, rpc.ErrNotFound) {
-				// Even a version-matched miss can be a commit race: map
-				// and meta land in separate steps, so this node may have
-				// routed to the old owner under the new version after the
-				// owner already dropped the partition. The object is in a
-				// metadata record we hold, so "not found" on an elastic
-				// mount means some route is stale, never that the object
-				// is gone — refresh rather than fail.
-				stale = true
+			if errors.Is(err, rpc.ErrNotFound) {
+				misses++
+				if n.elastic {
+					// Even a version-matched miss can be a commit race: map
+					// and meta land in separate steps, so this node may have
+					// routed to the old owner under the new version after
+					// the owner already dropped the partition. Suspect a
+					// stale route first; only when the refresh cap trips
+					// with every candidate still answering not-found is the
+					// object declared vanished.
+					stale = true
+				}
 				continue
 			}
 			if i+1 < len(cands) {
@@ -891,15 +958,40 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 				outcome = trace.OutcomeFailover
 			}
 		}
-		if stale && !aborted && pass < maxRefreshes {
+		allNotFound = attempts > 0 && misses == attempts
+		if aborted {
+			break
+		}
+		if stale && refreshes < maxRefreshes {
+			refreshes++
 			if fresh := n.refreshRoutes(path); fresh != nil {
 				m = fresh
 				continue
 			}
 		}
-		outcome = trace.OutcomeError
-		return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
+		break
 	}
+	// Every whole-object route is exhausted. On an erasure-coded mount
+	// the partition is still recoverable while at least k shards survive:
+	// reconstruct it and serve the read degraded. This is the path that
+	// keeps reads flowing between a rank dying and the repair commit.
+	if n.ec != nil && m.PartGID != 0 && !aborted {
+		if id, comp, err := n.ecDegradedObject(m); err == nil {
+			n.remoteBytes.Add(int64(len(comp)))
+			outcome = trace.OutcomeDegraded
+			return id, comp, outcome, nil
+		} else if lastErr == nil {
+			lastErr = err
+		}
+	}
+	outcome = trace.OutcomeError
+	if allNotFound && (!n.elastic || refreshes > 0) {
+		// The routes were current (or just refreshed) and every candidate
+		// authoritatively answered not-found: the object is gone, not
+		// mis-routed — callers can distinguish this from transport death.
+		return 0, nil, outcome, &vanishedError{path: path, err: lastErr}
+	}
+	return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
 }
 
 // prefetchTarget is one not-yet-staged remote object being walked

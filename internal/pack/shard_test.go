@@ -1,0 +1,80 @@
+package pack
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+func TestShardFrameRoundTrip(t *testing.T) {
+	payload := make([]byte, 777)
+	rand.New(rand.NewSource(1)).Read(payload)
+	h := ShardHeader{
+		GID:      0xdeadbeef00000003,
+		Index:    5,
+		K:        4,
+		M:        2,
+		BlobSize: 12345,
+		BlobCRC:  crc32.ChecksumIEEE(payload),
+	}
+	frame := MarshalShard(nil, h, payload)
+	if len(frame) != ShardFrameLen(len(payload)) {
+		t.Fatalf("frame len %d, want %d", len(frame), ShardFrameLen(len(payload)))
+	}
+	sh, rest, err := ParseShard(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if sh.Header != h {
+		t.Fatalf("header mismatch: got %+v want %+v", sh.Header, h)
+	}
+	if !bytes.Equal(sh.Data, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestShardFrameConcat(t *testing.T) {
+	var frame []byte
+	for i := 0; i < 6; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 10+i)
+		frame = MarshalShard(frame, ShardHeader{GID: 9, Index: uint8(i), K: 4, M: 2, BlobSize: 100}, data)
+	}
+	shards, err := ParseShards(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("got %d shards, want 6", len(shards))
+	}
+	for i, sh := range shards {
+		if int(sh.Header.Index) != i || len(sh.Data) != 10+i || sh.Data[0] != byte(i+1) {
+			t.Fatalf("shard %d parsed wrong: %+v", i, sh.Header)
+		}
+	}
+	// Empty input parses to an empty set, not an error.
+	if got, err := ParseShards(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty parse: %v, %d shards", err, len(got))
+	}
+}
+
+func TestShardFrameTruncation(t *testing.T) {
+	frame := MarshalShard(nil, ShardHeader{GID: 1, Index: 0, K: 2, M: 1, BlobSize: 8}, []byte("abcdefgh"))
+	for cut := 1; cut < len(frame); cut++ {
+		if _, _, err := ParseShard(frame[:len(frame)-cut]); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+	// Bad geometry: index outside k+m, and k == 0.
+	bad := MarshalShard(nil, ShardHeader{GID: 1, Index: 7, K: 4, M: 2}, []byte("x"))
+	if _, _, err := ParseShard(bad); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	bad = MarshalShard(nil, ShardHeader{GID: 1, Index: 0, K: 0, M: 2}, []byte("x"))
+	if _, _, err := ParseShard(bad); err == nil {
+		t.Fatal("k=0 geometry accepted")
+	}
+}

@@ -207,18 +207,37 @@ func (s *Scheduler) run() {
 	}
 }
 
-// budget is the admission ceiling for staged-but-unread bytes: the
-// override if configured, else the live cache headroom.
+// budget is the total ceiling for staged-but-unread bytes: the override
+// if configured, else the cache capacity not held by live readers.
+// CacheHeadroom already nets out staged bytes, so they are added back —
+// budget bounds the whole staging pool, not the next increment (the
+// batch carve clips single batches against it).
 func (s *Scheduler) budget() int64 {
 	if s.admit > 0 {
 		return s.admit
 	}
+	return s.store.CacheHeadroom() + s.store.StagedBytes()
+}
+
+// free is the admission room left for one more batch. With the override
+// it is the un-staged remainder, clamped at zero like the cache's own
+// headroom — the scheduler's staged sample can race ahead of the
+// cache's decrements, and a negative remainder must read as "no room",
+// not wrap into "infinite room".
+func (s *Scheduler) free() int64 {
+	if s.admit > 0 {
+		f := s.admit - s.store.StagedBytes()
+		if f < 0 {
+			return 0
+		}
+		return f
+	}
 	return s.store.CacheHeadroom()
 }
 
-// admitted blocks until batchBytes fits under the admission budget
-// alongside what is already staged (or staging is fully drained — an
-// oversized batch must not starve). Returns false if stopped.
+// admitted blocks until batchBytes fits in the free admission room (or
+// staging is fully drained — an oversized batch must not starve).
+// Returns false if stopped.
 func (s *Scheduler) admitted(batchBytes int64) bool {
 	waited := false
 	for {
@@ -226,7 +245,7 @@ func (s *Scheduler) admitted(batchBytes int64) bool {
 		if staged > s.maxStage.Load() {
 			s.maxStage.Store(staged)
 		}
-		if staged == 0 || staged+batchBytes <= s.budget() {
+		if staged == 0 || batchBytes <= s.free() {
 			return true
 		}
 		if !waited {

@@ -105,6 +105,9 @@ const (
 	// OutcomeCoalesced waited on another caller's in-flight fetch+decode
 	// of the same path instead of issuing its own (singleflight).
 	OutcomeCoalesced
+	// OutcomeDegraded was reconstructed from erasure-coded shards
+	// because no owner held the whole object.
+	OutcomeDegraded
 	// OutcomeError is an operation that failed.
 	OutcomeError
 	numOutcomes
@@ -120,6 +123,7 @@ var outcomeNames = [numOutcomes]string{
 	OutcomeFailover:    "failover",
 	OutcomeSpill:       "spill",
 	OutcomeCoalesced:   "coalesced",
+	OutcomeDegraded:    "degraded",
 	OutcomeError:       "error",
 }
 

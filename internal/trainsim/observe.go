@@ -255,3 +255,154 @@ func (c Config) TraceEpochsReplay(epochs, dataSize int, rc ReplayConfig, obs Sim
 	}
 	return now
 }
+
+// ChaosConfig parameterizes TraceEpochsChaos: a kill-a-rank replay over
+// an erasure-coded elastic cluster.
+type ChaosConfig struct {
+	// Rank is the rank this observer replays (the sim replays one rank
+	// per call, like the live system runs one node per rank).
+	Rank int
+	// KillRank is the rank that fail-stops (<0 disables the chaos and
+	// the replay degenerates to TraceEpochs).
+	KillRank int
+	// KillEpoch is the 0-based epoch at whose start KillRank dies.
+	KillEpoch int
+	// K, M is the ec(k,m) geometry of the mount (default 4,2). A
+	// degraded read gathers k shards — (k+m)/k times the object's bytes
+	// across the fabric — and the repair re-homes the dead rank's share
+	// at the same overhead.
+	K, M int
+}
+
+// TraceEpochsChaos replays a training run over an ec(k,m) elastic
+// cluster that loses KillRank at the start of KillEpoch. The victim's
+// timeline simply ends there. Survivors run the kill epoch degraded:
+// the dead rank's share (1/Nodes) of each batch is served by stripe
+// reconstruction — k shards gathered over the fabric plus the decode-
+// scale matrix work — while the coordinator's repair streams the lost
+// partitions back onto the survivors, stretching the epoch only by
+// whatever the repair does not hide behind it (exactly the join-epoch
+// overlap rule). Later epochs run on Nodes-1 members. It emits the live
+// store's fault instruments — "ec.degraded.reads",
+// "ec.reconstruct.latency", "ec.repair.bytes", "rebalance.bytes.moved",
+// the "rebalance.partitions.pending" peak-then-zero, and the two map
+// commits (dead-mark, repair) — so the cluster report renders a
+// simulated rank loss exactly like a real one.
+func (c Config) TraceEpochsChaos(epochs, dataSize int, cc ChaosConfig, obs SimObserver) time.Duration {
+	if cc.KillRank < 0 || cc.KillEpoch < 0 || cc.KillEpoch >= epochs || c.Nodes < 2 {
+		return c.TraceEpochs(epochs, dataSize, obs)
+	}
+	if cc.Rank == cc.KillRank {
+		// The victim: its observability ends at the crash.
+		return c.traceEpochsFrom(0, cc.KillEpoch, dataSize, obs)
+	}
+	k, m := cc.K, cc.M
+	if k <= 0 {
+		k, m = 4, 2
+	}
+
+	var now time.Duration
+	now += c.traceEpochsFrom(0, cc.KillEpoch, dataSize, obs)
+
+	// The kill epoch: reads of the dead rank's share reconstruct from
+	// shards. Per degraded file the fabric carries (k+m)/k times the
+	// compressed size (k shards plus parity-sized slack versus one whole
+	// object) and the matrix work costs about one decode.
+	compSize := int64(float64(c.App.FileSizeBytes()) / c.ratio())
+	deadFrac := 1 / float64(c.Nodes)
+	reconstruct := c.Clust.Fabric.Transfer(int64(float64(compSize)*float64(k+m)/float64(k))) +
+		c.DecompressPerFile
+	extraPerFile := reconstruct - c.Clust.Fabric.Transfer(compSize)
+	if extraPerFile < 0 {
+		extraPerFile = 0
+	}
+	threads := c.App.IOThreads
+	if threads < 1 {
+		threads = 1
+	}
+	iters := NumIters(1, dataSize, c.App.CBatch*c.Nodes)
+	degradedPerIter := deadFrac * float64(c.App.CBatch)
+	extraPerIter := time.Duration(degradedPerIter * float64(extraPerFile) / float64(threads))
+
+	skew := obs.Skew
+	if skew <= 0 {
+		skew = 1
+	}
+	io := time.Duration(float64(c.IOTime())*skew) + extraPerIter
+	compute := c.ComputeTime()
+	iter := compute + io
+	stall := io
+	if !c.App.Sync {
+		iter = compute
+		stall = 0
+		if io > compute {
+			iter = io
+			stall = io - compute
+		}
+	}
+	killEpochDur := time.Duration(iters) * iter
+	killEpochStall := time.Duration(iters) * stall
+
+	degradedReads := int64(float64(iters) * degradedPerIter)
+	if degradedReads < 1 {
+		degradedReads = 1
+	}
+	obs.Metrics.Counter("ec.degraded.reads").Add(degradedReads)
+	recHist := obs.Metrics.Histogram("ec.reconstruct.latency")
+	for i := int64(0); i < degradedReads; i++ {
+		recHist.Observe(reconstruct)
+	}
+
+	// The dead-mark commit lands as the epoch starts; the repair job
+	// re-homes the dead rank's data share across the survivors — each
+	// pulls k shards' worth and re-pushes the re-encoded stripe, so the
+	// fabric carries (1 + m/k) times the lost bytes, split Nodes-1 ways.
+	obs.Metrics.Gauge("member.map.version").Set(2)
+	obs.Metrics.Gauge("rebalance.partitions.pending").Set(1)
+	compBytes := int64(float64(c.App.FileSizeBytes()) * float64(dataSize) / c.ratio())
+	deadShare := int64(float64(compBytes) * deadFrac)
+	perSurvivor := deadShare / int64(c.Nodes-1)
+	repairBytes := int64(float64(perSurvivor) * (1 + float64(m)/float64(k)))
+	repair := c.Clust.Fabric.Transfer(repairBytes)
+
+	epochHist := obs.Metrics.Histogram("trainsim.epoch.latency")
+	iterHist := obs.Metrics.Histogram("trainsim.iter.latency")
+	obs.Tracer.Record(trace.OpEpoch, "", trace.OutcomeNone, now, killEpochDur)
+	obs.Tracer.Record(trace.OpFetch, "degraded", trace.OutcomeDegraded, now,
+		time.Duration(iters)*extraPerIter)
+	obs.Tracer.Record(trace.OpFetch, "repair", trace.OutcomeRemoteFetch, now, repair)
+	if killEpochStall > 0 {
+		obs.Tracer.Record(trace.OpWait, "", trace.OutcomeNone, now, killEpochStall)
+		obs.Tracer.Record(trace.OpCompute, "", trace.OutcomeNone, now+killEpochStall, killEpochDur-killEpochStall)
+	} else {
+		obs.Tracer.Record(trace.OpCompute, "", trace.OutcomeNone, now, killEpochDur)
+	}
+	epochHist.Observe(killEpochDur)
+	for i := 0; i < iters; i++ {
+		iterHist.Observe(iter)
+	}
+	obs.Metrics.Counter("trainsim.epochs").Inc()
+	obs.Metrics.Counter("trainsim.iters").Add(int64(iters))
+	obs.Metrics.Counter("ec.repair.bytes").Add(repairBytes)
+	obs.Metrics.Counter("rebalance.bytes.moved").Add(perSurvivor)
+	obs.Metrics.Histogram("trainsim.rebalance.latency").Observe(repair)
+	if repair > killEpochDur {
+		// The rebuild outlives the epoch: the repair commit (and the
+		// next epoch's shrunk membership) waits for the last shard.
+		killEpochDur = repair
+	}
+	now += killEpochDur
+	obs.Metrics.Gauge("rebalance.partitions.pending").Set(0)
+	obs.Metrics.Gauge("member.map.version").Set(3)
+
+	// Post-repair epochs: the cluster runs one member short.
+	shrunk := c
+	shrunk.Nodes = c.Nodes - 1
+	if c.RemoteFrac > 0 && shrunk.Nodes > 1 {
+		shrunk.RemoteFrac = float64(shrunk.Nodes-1) / float64(shrunk.Nodes)
+	} else if shrunk.Nodes <= 1 {
+		shrunk.RemoteFrac = 0
+	}
+	now += shrunk.traceEpochsFrom(now, epochs-cc.KillEpoch-1, dataSize, obs)
+	return now
+}

@@ -197,3 +197,90 @@ func TestTraceEpochsJoinGrowsCluster(t *testing.T) {
 		t.Fatal("no rebalance transfer span in the trace")
 	}
 }
+
+func TestTraceEpochsChaosKillsRank(t *testing.T) {
+	cfg := simConfig()
+	cfg.RemoteFrac = float64(cfg.Nodes-1) / float64(cfg.Nodes)
+	const epochs, dataSize = 4, 4000
+	cc := ChaosConfig{Rank: 0, KillRank: 3, KillEpoch: 1, K: 4, M: 2}
+
+	reg := metrics.NewRegistry()
+	tr := trace.NewSynthetic(0, 1<<10)
+	total := cfg.TraceEpochsChaos(epochs, dataSize, cc,
+		SimObserver{Tracer: tr, Metrics: reg})
+
+	// One healthy epoch, a degraded kill epoch (at least as slow as a
+	// healthy one — reconstruction only adds I/O), then the tail on
+	// Nodes-1 members, each at least as slow as the old per-epoch time
+	// (the survivors carry a larger share).
+	shrunk := cfg
+	shrunk.Nodes = cfg.Nodes - 1
+	shrunk.RemoteFrac = float64(shrunk.Nodes-1) / float64(shrunk.Nodes)
+	oldEpoch := cfg.TrainTime(1, dataSize)
+	shrunkEpoch := shrunk.TrainTime(1, dataSize)
+	if shrunkEpoch < oldEpoch {
+		t.Fatalf("shrunk epoch %v faster than full-cluster epoch %v", shrunkEpoch, oldEpoch)
+	}
+	if total < 2*oldEpoch+2*shrunkEpoch {
+		t.Fatalf("total %v below the floor of 1 old + 1 degraded + 2 shrunk epochs (%v)",
+			total, 2*oldEpoch+2*shrunkEpoch)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["trainsim.epochs"]; got != epochs {
+		t.Fatalf("epochs counter = %d, want %d", got, epochs)
+	}
+	if snap.Counters["ec.degraded.reads"] <= 0 {
+		t.Fatalf("no degraded reads recorded: %v", snap.Counters)
+	}
+	if snap.Counters["ec.repair.bytes"] <= 0 {
+		t.Fatalf("no repair bytes recorded: %v", snap.Counters)
+	}
+	if snap.Counters["rebalance.bytes.moved"] <= 0 {
+		t.Fatalf("no rebalance bytes recorded: %v", snap.Counters)
+	}
+	if snap.Histograms["ec.reconstruct.latency"].Count != snap.Counters["ec.degraded.reads"] {
+		t.Fatalf("reconstruct observations %d != degraded reads %d",
+			snap.Histograms["ec.reconstruct.latency"].Count, snap.Counters["ec.degraded.reads"])
+	}
+	// Two commits: the dead-mark and the repair completion.
+	if v := snap.Gauges["member.map.version"].Value; v != 3 {
+		t.Fatalf("map version gauge = %d, want 3 (dead-mark + repair)", v)
+	}
+	if v := snap.Gauges["rebalance.partitions.pending"].Value; v != 0 {
+		t.Fatalf("pending gauge = %d after repair, want 0", v)
+	}
+
+	var foundRepair, foundDegraded bool
+	for _, s := range tr.Spans() {
+		if s.Op == trace.OpFetch && tr.PathName(s.PathID) == "repair" {
+			foundRepair = true
+		}
+		if s.Op == trace.OpFetch && s.Outcome == trace.OutcomeDegraded {
+			foundDegraded = true
+		}
+	}
+	if !foundRepair {
+		t.Fatal("no repair transfer span in the trace")
+	}
+	if !foundDegraded {
+		t.Fatal("no degraded fetch span in the trace")
+	}
+
+	// The victim's replay stops at the kill epoch.
+	vc := cc
+	vc.Rank = cc.KillRank
+	victim := cfg.TraceEpochsChaos(epochs, dataSize, vc, SimObserver{})
+	if victim >= total {
+		t.Fatalf("victim timeline %v not shorter than survivor %v", victim, total)
+	}
+	if want := cfg.TrainTime(cc.KillEpoch, dataSize); victim != want {
+		t.Fatalf("victim ran %v, want %v (its pre-kill epochs)", victim, want)
+	}
+
+	// Chaos disabled degenerates to the plain replay.
+	plain := cfg.TraceEpochsChaos(epochs, dataSize, ChaosConfig{KillRank: -1}, SimObserver{})
+	if want := cfg.TraceEpochs(epochs, dataSize, SimObserver{}); plain != want {
+		t.Fatalf("disabled chaos ran %v, want %v", plain, want)
+	}
+}
