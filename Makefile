@@ -24,11 +24,12 @@ test:
 # runtime, the rpc worker pool, the store's fetch/cache data path, the
 # decode worker pool and its buffer pool, the prefetch pipeline, the
 # training-loop simulator that drives them, and the observability layer
-# (span tracer + metrics registry) they all write into concurrently.
-# internal/ec rides along with the fault-path tests that call into it
-# from concurrent degraded reads.
+# (span tracer + metrics registry + the obs ops plane, whose HTTP
+# handlers read while every rank writes) they all write into
+# concurrently. internal/ec rides along with the fault-path tests that
+# call into it from concurrent degraded reads.
 race:
-	$(GO) test -race ./internal/ec/... ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/member/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race ./internal/ec/... ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/member/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/... ./internal/obs/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...
@@ -40,5 +41,7 @@ benchsmoke:
 
 # The benchsmoke sweep with allocation counts, rendered to a JSON
 # trajectory file (ns/op + allocs/op per benchmark) via cmd/benchjson.
+# Override BENCH_OUT to land the trajectory elsewhere.
+BENCH_OUT ?= BENCH_PR8.json
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)

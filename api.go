@@ -31,6 +31,7 @@ import (
 	store "fanstore/internal/fanstore"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
+	"fanstore/internal/obs"
 	"fanstore/internal/pack"
 	"fanstore/internal/selector"
 	"fanstore/internal/trace"
@@ -120,6 +121,72 @@ type (
 	// ReportOptions configures the cluster report reduction.
 	ReportOptions = store.ReportOptions
 )
+
+// Live operations plane (internal/obs): the embedded per-rank HTTP ops
+// server, the rolling time-series sampler behind its /series endpoint,
+// the structured event log the store's fault paths emit into, and the
+// continuous cluster health monitor. Nothing here touches the data
+// path unless constructed — a run without an ops address pays zero
+// goroutines and zero allocations for the plane's existence.
+type (
+	// EventLog is the bounded ring of structured operational events
+	// (failovers, map changes, rebalances, degraded reads, stragglers);
+	// pass one via Options.Events. A nil *EventLog disables emission at
+	// zero cost.
+	EventLog = obs.EventLog
+	// OpsServer serves /metrics, /varz, /series, /healthz, /statusz,
+	// /trace, /events and /debug/pprof for one rank.
+	OpsServer = obs.Server
+	// OpsServerOptions wires an OpsServer to a rank's registry, tracer,
+	// event log, and health callback.
+	OpsServerOptions = obs.ServerOptions
+	// Sampler snapshots a registry on a fixed interval into a rolling
+	// ring of delta windows (counter rates, windowed quantiles).
+	Sampler = obs.Sampler
+	// HealthMonitor continuously polls member snapshots and keeps a
+	// live straggler verdict using the cluster report's detector.
+	HealthMonitor = obs.Monitor
+	// HealthMonitorOptions configures a HealthMonitor.
+	HealthMonitorOptions = obs.MonitorOptions
+	// Health is the /healthz payload.
+	Health = obs.Health
+)
+
+// NewEventLog builds an event log for rank with a bounded ring of the
+// given capacity (the package default when <= 0).
+func NewEventLog(rank, capacity int) *EventLog { return obs.NewEventLog(rank, capacity) }
+
+// ServeOps binds addr and serves the ops endpoints for the wired
+// sources; Node.StartOps is the one-call version for a mounted store.
+func ServeOps(addr string, o OpsServerOptions) (*OpsServer, error) { return obs.Serve(addr, o) }
+
+// NewHealthMonitor builds a cluster health monitor; Start polls
+// continuously, Poll drives one round manually.
+func NewHealthMonitor(o HealthMonitorOptions) *HealthMonitor { return obs.NewMonitor(o) }
+
+// FlagStragglers adapts the cluster report's straggler detector to the
+// health monitor's Flag shape, so live and post-run verdicts share one
+// methodology.
+func FlagStragglers(opts ReportOptions) func([]RegistrySnapshot) []int {
+	return store.FlagStragglers(opts)
+}
+
+// CollectRegistries is the monitor Collect source for in-process
+// multi-rank runs: every rank's registry read directly.
+func CollectRegistries(regs []*Registry) func() ([]RegistrySnapshot, error) {
+	return obs.CollectRegistries(regs)
+}
+
+// CollectHTTP is the monitor Collect source for multi-process
+// deployments: each member's /varz scraped over HTTP.
+func CollectHTTP(addrs []string, timeout time.Duration) func() ([]RegistrySnapshot, error) {
+	return obs.CollectHTTP(addrs, timeout)
+}
+
+// OpsAddrForRank shifts an ops listen address's port by rank — the
+// convention in-process multi-rank commands use so every rank gets its
+// own endpoint (":0" passes through unchanged).
+func OpsAddrForRank(addr string, rank int) (string, error) { return obs.OffsetAddr(addr, rank) }
 
 // NewTracer builds a span tracer for rank with a ring of the given
 // capacity (the package default when <= 0).

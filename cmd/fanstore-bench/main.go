@@ -21,6 +21,7 @@ import (
 	"fanstore/internal/iobench"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
+	"fanstore/internal/obs"
 	"fanstore/internal/pack"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		model      = flag.Bool("model", false, "print Table III device-model rows instead")
 		hist       = flag.Bool("hist", false, "print rank 0's latency histograms")
 		statsJSON  = flag.Bool("stats-json", false, "emit the final merged registry snapshot as one JSON object on stdout")
+		opsAddr    = flag.String("ops-addr", "", "serve live HTTP ops endpoints while the benchmark runs (rank r listens on port+r; empty disables)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,18 @@ func main() {
 		}
 		defer func() { snaps[c.Rank()] = reg.Snapshot() }()
 		defer node.Close()
+		if *opsAddr != "" {
+			addr, err := obs.OffsetAddr(*opsAddr, c.Rank())
+			if err != nil {
+				return err
+			}
+			ops, err := node.StartOps(addr)
+			if err != nil {
+				return err
+			}
+			defer ops.Close()
+			fmt.Printf("rank %d: ops endpoints at http://%s\n", c.Rank(), ops.Addr())
+		}
 		res, err := iobench.MeasureNode(node, paths, *rounds)
 		if err != nil {
 			return err

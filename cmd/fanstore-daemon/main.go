@@ -53,6 +53,9 @@ func main() {
 		joinLate   = flag.Bool("join", false, "join a running elastic cluster as a new member (requires -members; no -part)")
 		leaveEarly = flag.Bool("leave", false, "leave the elastic cluster after the reads, draining partitions to the survivors")
 		redun      = flag.String("redundancy", "", "elastic redundancy: replicate (default) or ec(k,m), e.g. ec(4,2)")
+		opsAddr    = flag.String("ops-addr", "", "serve live HTTP ops endpoints; pass the same base address to every daemon, rank r listens on port+r (empty disables)")
+		healthInt  = flag.Duration("health-interval", 0, "rank 0 scrapes every member's /varz at this period and flags stragglers mid-run (needs -ops-addr; 0 disables)")
+		healthN    = flag.Int("health-members", 0, "member count the health monitor scrapes (0: -members for elastic worlds, else -size)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("fanstore-daemon[%d]: ", *rank))
@@ -120,6 +123,13 @@ func main() {
 	if red.Mode == fanstore.RedundancyEC && !elastic {
 		log.Fatal("-redundancy ec(k,m) needs an elastic mount (-members); static worlds replicate via -broadcast/ring placement")
 	}
+	if *healthInt > 0 && *opsAddr == "" {
+		log.Fatal("-health-interval needs -ops-addr (the monitor scrapes member /varz endpoints)")
+	}
+	var events *fanstore.EventLog
+	if *opsAddr != "" {
+		events = fanstore.NewEventLog(*rank, 0)
+	}
 	opts := fanstore.Options{
 		SpillDir:      *spill,
 		FetchWorkers:  *workers,
@@ -130,6 +140,7 @@ func main() {
 		Metrics:       reg,
 		Tracer:        tr,
 		Redundancy:    red,
+		Events:        events,
 	}
 	var node *fanstore.Node
 	if elastic {
@@ -150,6 +161,46 @@ func main() {
 			node.NumFiles(), node.LocalFiles(), node.ID(), node.MapVersion())
 	} else {
 		log.Printf("mounted: %d files global, %d local", node.NumFiles(), node.LocalFiles())
+	}
+
+	if *opsAddr != "" {
+		addr, err := fanstore.OpsAddrForRank(*opsAddr, *rank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ops, err := node.StartOps(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		log.Printf("ops: serving http://%s", ops.Addr())
+	}
+	if *healthInt > 0 && *rank == 0 {
+		n := *healthN
+		if n <= 0 {
+			n = *size
+			if elastic && *members > 0 {
+				n = *members
+			}
+		}
+		peers := make([]string, n)
+		for r := range peers {
+			addr, err := fanstore.OpsAddrForRank(*opsAddr, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			peers[r] = addr
+		}
+		mon := fanstore.NewHealthMonitor(fanstore.HealthMonitorOptions{
+			Interval: *healthInt,
+			Collect:  fanstore.CollectHTTP(peers, 0),
+			Flag:     fanstore.FlagStragglers(fanstore.ReportOptions{}),
+			Metrics:  reg,
+			Events:   events,
+		})
+		mon.Start()
+		defer mon.Stop()
+		log.Printf("health: monitoring %d members every %v", n, *healthInt)
 	}
 
 	// Enumerate the namespace, then read random files — local or remote.

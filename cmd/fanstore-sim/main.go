@@ -37,6 +37,7 @@ import (
 	"fanstore/internal/dataset"
 	"fanstore/internal/fanstore"
 	"fanstore/internal/metrics"
+	"fanstore/internal/obs"
 	"fanstore/internal/selector"
 	"fanstore/internal/trace"
 	"fanstore/internal/trainsim"
@@ -76,6 +77,9 @@ func main() {
 		killRank = flag.Int("chaos-kill-rank", -1, "fail-stop this simulated rank and replay the degraded reads + repair (-1: no chaos)")
 		killAt   = flag.Int("chaos-at-epoch", 1, "epoch at whose start -chaos-kill-rank dies")
 		redun    = flag.String("redundancy", "ec(4,2)", "redundancy mode of the chaos replay: ec(k,m) (replicate is not survivable by reconstruction)")
+		monitor  = flag.Bool("monitor", false, "run the monitored-epoch replay: the live health monitor polls every rank after each epoch and flags the skewed rank mid-run (-skew 0 derives a reliably detectable skew)")
+		opsAddr  = flag.String("ops-addr", "", "serve per-rank HTTP ops endpoints during -monitor (rank r listens on port+r; empty disables)")
+		pace     = flag.Duration("pace", 0, "wall-clock pause per simulated epoch in -monitor, so the ops endpoints can be curled mid-run (0: full speed)")
 	)
 	flag.Parse()
 
@@ -192,7 +196,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	if *traceOut == "" && !*report {
+	if *traceOut == "" && !*report && !*monitor {
 		return
 	}
 	// Epoch replay: run the case's configuration through the per-rank
@@ -208,6 +212,10 @@ func main() {
 		App: tc.app, Clust: tc.clust, Nodes: n,
 		DecompressPerFile: cd.DecompressPerFile, Ratio: cd.Ratio,
 		RemoteFrac: float64(n-1) / float64(n),
+	}
+	if *monitor {
+		runMonitoredSim(cfg, n, *simEpoch, *simFiles, *skew, *opsAddr, *pace)
+		return
 	}
 	chaos := *killRank >= 0
 	var cc trainsim.ChaosConfig
@@ -274,4 +282,62 @@ func main() {
 		}
 		fmt.Printf("trace: wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
+}
+
+// runMonitoredSim is the -monitor replay: the per-rank registries are
+// (optionally) served on live ops endpoints while the epochs replay in
+// lockstep, and the health monitor polls after every epoch — the
+// simulated version of catching a straggler mid-run instead of in the
+// post-run report.
+func runMonitoredSim(cfg trainsim.Config, ranks, epochs, files int, skew float64, opsAddr string, pace time.Duration) {
+	if skew <= 0 {
+		// Derive a skew that lands robustly past the detector: push the
+		// skewed rank's I/O to 4x the compute term, so the async
+		// pipeline cannot hide it and the epoch stretches well past the
+		// 2x-median threshold even after bucket rounding.
+		skew = 4 * float64(cfg.ComputeTime()) / float64(cfg.IOTime())
+	}
+	regs := make([]*metrics.Registry, ranks)
+	for i := range regs {
+		regs[i] = metrics.NewRegistry()
+	}
+	events := obs.NewEventLog(0, 0)
+	if opsAddr != "" {
+		for r := 0; r < ranks; r++ {
+			addr, err := obs.OffsetAddr(opsAddr, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			so := obs.ServerOptions{Registry: regs[r]}
+			if r == 0 {
+				// Rank 0 hosts the monitor, so its endpoint also carries
+				// the health instruments and the event log.
+				so.Events = events
+			}
+			srv, err := obs.Serve(addr, so)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("rank %d: ops endpoints at http://%s\n", r, srv.Addr())
+		}
+	}
+	res := cfg.RunMonitored(epochs, files, trainsim.MonitoredConfig{
+		Ranks:      ranks,
+		SkewRank:   ranks - 1,
+		Skew:       skew,
+		Events:     events,
+		Health:     regs[0],
+		Registries: regs,
+		Pace:       pace,
+	})
+	if res.FlaggedEpoch >= 0 {
+		fmt.Printf("monitor: rank %d flagged as straggler after epoch %d of %d (while the run was live)\n",
+			ranks-1, res.FlaggedEpoch, epochs)
+	} else {
+		fmt.Printf("monitor: no straggler flagged in %d epochs (skew %.1fx)\n", epochs, skew)
+	}
+	fmt.Printf("events:\n")
+	_ = events.WriteText(os.Stdout)
+	fmt.Print(res.Report.String())
 }

@@ -51,6 +51,8 @@ func main() {
 		report     = flag.Bool("report", false, "print the cluster-wide aggregated I/O report after training")
 		statsJSON  = flag.Bool("stats-json", false, "emit the final merged registry snapshot as one JSON object on stdout")
 		redun      = flag.String("redundancy", "", "accepted for symmetry with fanstore-daemon; ec(k,m) needs an elastic mount")
+		opsAddr    = flag.String("ops-addr", "", "serve live HTTP ops endpoints (/metrics /varz /series /healthz /statusz /trace /events); rank r listens on port+r (empty disables)")
+		healthInt  = flag.Duration("health-interval", 0, "rank 0 polls every rank's registry at this period and flags stragglers mid-run (0 disables)")
 	)
 	flag.Parse()
 
@@ -98,16 +100,26 @@ func main() {
 	itersPerEpoch := prefetch.SamplerIters(*files, *batch, *ranks)
 
 	// Per-rank observability sinks, collected for post-run export: the
-	// ranks run in-process, each writing only its own slot.
+	// ranks run in-process, each writing only its own slot. Registries
+	// are pre-created so rank 0's health monitor can fold all of them
+	// while the run is live.
 	tracers := make([]*fanstore.Tracer, *ranks)
+	regs := make([]*fanstore.Registry, *ranks)
+	for i := range regs {
+		regs[i] = fanstore.NewRegistry()
+	}
 	var clusterReport fanstore.ClusterReport
 
 	err = launch(*ranks, func(c *fanstore.Comm) error {
-		reg := fanstore.NewRegistry()
+		reg := regs[c.Rank()]
 		var tr *fanstore.Tracer
 		if *traceOut != "" {
 			tr = fanstore.NewTracer(c.Rank(), 0)
 			tracers[c.Rank()] = tr
+		}
+		var events *fanstore.EventLog
+		if *opsAddr != "" {
+			events = fanstore.NewEventLog(c.Rank(), 0)
 		}
 		opts := fanstore.Options{
 			CachePolicy:   pol,
@@ -116,6 +128,7 @@ func main() {
 			DecodeWorkers: *decoders,
 			Metrics:       reg,
 			Tracer:        tr,
+			Events:        events,
 		}
 		if *spill != "" {
 			opts.SpillDir = fmt.Sprintf("%s/rank%04d", *spill, c.Rank())
@@ -125,6 +138,30 @@ func main() {
 			return err
 		}
 		defer node.Close()
+
+		if *opsAddr != "" {
+			addr, err := fanstore.OpsAddrForRank(*opsAddr, c.Rank())
+			if err != nil {
+				return err
+			}
+			ops, err := node.StartOps(addr)
+			if err != nil {
+				return err
+			}
+			defer ops.Close()
+			fmt.Printf("rank %d: ops endpoints at http://%s\n", c.Rank(), ops.Addr())
+		}
+		if *healthInt > 0 && c.Rank() == 0 {
+			mon := fanstore.NewHealthMonitor(fanstore.HealthMonitorOptions{
+				Interval: *healthInt,
+				Collect:  fanstore.CollectRegistries(regs),
+				Flag:     fanstore.FlagStragglers(fanstore.ReportOptions{}),
+				Metrics:  reg,
+				Events:   events,
+			})
+			mon.Start()
+			defer mon.Stop()
+		}
 
 		startEpoch := 0
 		var weights uint32

@@ -9,6 +9,7 @@ import (
 
 	"fanstore/internal/decomp"
 	"fanstore/internal/metrics"
+	"fanstore/internal/obs"
 	"fanstore/internal/trace"
 )
 
@@ -119,7 +120,18 @@ type Cache struct {
 	hits, misses, evictions        *metrics.Counter
 	prefetchedHits, doubleReleases *metrics.Counter
 	tracer                         *trace.Tracer
+
+	// events, when set, receives an eviction-pressure event once per
+	// evictionPressureStride evictions (the first eviction also fires,
+	// marking the onset of pressure). nil keeps the hot path inert.
+	events   *obs.EventLog
+	evictSeq atomic.Int64
 }
+
+// evictionPressureStride rate-limits eviction-pressure events: one per
+// this many evictions, so a thrashing cache reports pressure without
+// flooding the bounded event ring.
+const evictionPressureStride = 1024
 
 // minShardBytes is the smallest capacity slice worth striping: below it
 // a single entry could overflow its shard and thrash, so shard count is
@@ -188,6 +200,10 @@ func (c *Cache) instrument(reg *metrics.Registry, tr *trace.Tracer) {
 	c.doubleReleases = reg.Counter("fanstore.cache.double_releases")
 	c.tracer = tr
 }
+
+// setEvents attaches the ops-plane event log for eviction-pressure
+// reporting. nil (the default) disables it at zero cost.
+func (c *Cache) setEvents(ev *obs.EventLog) { c.events = ev }
 
 // NumShards reports the shard count (test and benchmark hook).
 func (c *Cache) NumShards() int { return len(c.shards) }
@@ -377,6 +393,13 @@ func (c *Cache) evictLocked(sh *cacheShard) {
 			c.removeLocked(sh, e)
 			c.evictions.Inc()
 			c.tracer.Event(trace.OpEvict, e.path, trace.OutcomeNone)
+			if c.events.Enabled() {
+				if seq := c.evictSeq.Add(1); seq%evictionPressureStride == 1 {
+					c.events.Emitf(obs.EvEvictionPressure, obs.SevWarn,
+						"cache under pressure: %d evictions so far (capacity=%d B, pinned=%d B)",
+						c.evictions.Value(), c.capacity, c.pinnedB.Load())
+				}
+			}
 		}
 		el = next
 	}

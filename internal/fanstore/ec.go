@@ -14,6 +14,7 @@ import (
 	"fanstore/internal/ec"
 	"fanstore/internal/member"
 	"fanstore/internal/metrics"
+	"fanstore/internal/obs"
 	"fanstore/internal/pack"
 	"fanstore/internal/rpc"
 )
@@ -242,6 +243,15 @@ func (n *Node) ecPushShards(countRepair bool) error {
 			lastErr = err
 		}
 	}
+	if countRepair && len(parts) > 0 && n.events.Enabled() {
+		if lastErr != nil {
+			n.events.Emitf(obs.EvECRepair, obs.SevError,
+				"re-encoded shards for %d partitions under map v%d; incomplete: %v", len(parts), cm.Version, lastErr)
+		} else {
+			n.events.Emitf(obs.EvECRepair, obs.SevInfo,
+				"re-encoded and re-scattered shards for %d partitions under map v%d", len(parts), cm.Version)
+		}
+	}
 	return lastErr
 }
 
@@ -436,7 +446,18 @@ func (n *Node) ecDegradedObject(m *FileMeta) (uint16, []byte, error) {
 		e.mu.Unlock()
 		close(ch)
 		if err != nil {
+			if n.events.Enabled() {
+				n.events.Emitf(obs.EvDegradedRead, obs.SevError,
+					"partition %d: degraded reconstruction failed: %v", gid, err)
+			}
 			return 0, nil, err
+		}
+		// One event per reconstruction (the singleflight leader), not per
+		// degraded read — a training loop hammering a lost partition logs
+		// once, while ec.degraded.reads counts every served read.
+		if n.events.Enabled() {
+			n.events.Emitf(obs.EvDegradedRead, obs.SevWarn,
+				"partition %d reconstructed from shards; serving reads degraded", gid)
 		}
 		return n.ecServeDegraded(dp, m)
 	}
@@ -452,6 +473,18 @@ func (n *Node) ecServeDegraded(dp *degradedPart, m *FileMeta) (uint16, []byte, e
 	// commit; the decode path never recycles fetched bytes, so handing
 	// out the alias is safe.
 	return entry.CompressorID, entry.Data, nil
+}
+
+// ecDegradedCount reports how many partitions are currently served
+// from cached reconstructions (0 on non-ec mounts) — the /healthz
+// "degraded_parts" figure.
+func (n *Node) ecDegradedCount() int {
+	if n.ec == nil {
+		return 0
+	}
+	n.ec.mu.Lock()
+	defer n.ec.mu.Unlock()
+	return len(n.ec.deg)
 }
 
 // ecDropDegraded forgets cached reconstructions for the given

@@ -11,6 +11,7 @@ import (
 	"fanstore/internal/member"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
+	"fanstore/internal/obs"
 )
 
 // Elastic mode: the fixed-size mpi world becomes a pool of slots, and the
@@ -184,6 +185,7 @@ func MountElastic(comm *mpi.Comm, partitions [][]byte, opts ElasticOptions) (*No
 		return nil, err
 	}
 	n.mem = mem
+	mem.SetEvents(opts.Events)
 	e := newElasticCtrl(n, mem, coordRank, opts)
 	n.ectrl = e
 
@@ -311,6 +313,7 @@ func JoinCluster(comm *mpi.Comm, coordRank int, opts ElasticOptions) (*Node, err
 		return nil, err
 	}
 	n.mem = mem
+	mem.SetEvents(opts.Events)
 	e := newElasticCtrl(n, mem, coordRank, opts)
 	n.ectrl = e
 
@@ -514,6 +517,11 @@ func (e *elasticCtrl) startJob(job *rebalanceJob) {
 	}
 	e.rebalPending.Set(int64(len(transfers)))
 	e.mu.Unlock()
+	if e.n.events.Enabled() {
+		e.n.events.Emitf(obs.EvRebalanceStart, obs.SevInfo,
+			"rebalance started: %d partition transfer(s) planned (leaver=%v)",
+			len(transfers), job.leaver)
+	}
 	if len(transfers) == 0 {
 		e.commitJob(job)
 		return
@@ -766,6 +774,11 @@ func (e *elasticCtrl) finishJob(job *rebalanceJob) {
 	}
 	if len(job.failed) > 0 {
 		e.jobsFailed.Inc()
+		if e.n.events.Enabled() {
+			e.n.events.Emitf(obs.EvRebalanceFail, obs.SevError,
+				"rebalance exhausted %d attempts with %d transfer(s) failed; committing what landed",
+				maxJobAttempts, len(job.failed))
+		}
 	}
 	e.mu.Unlock()
 	e.commitJob(job)
@@ -845,6 +858,13 @@ func (e *elasticCtrl) commitJob(job *rebalanceJob) {
 func (e *elasticCtrl) applyCommit(cm *member.ClusterMap, transfers []transfer, metas []FileMeta) {
 	e.n.view.Update(cm)
 	e.n.mapVersion.Set(int64(e.n.view.Version()))
+	if e.n.events.Enabled() {
+		e.n.events.Emitf(obs.EvMapChange, obs.SevInfo,
+			"cluster map v%d installed (%d alive, %d partition move(s))",
+			cm.Version, len(cm.Alive()), len(transfers))
+		e.n.events.Emitf(obs.EvRebalanceCommit, obs.SevInfo,
+			"rebalance committed under map v%d: %d transfer(s) applied", cm.Version, len(transfers))
+	}
 	for i := range metas {
 		e.n.addMeta(metas[i])
 	}
@@ -988,6 +1008,10 @@ func (n *Node) LeaveCluster() error {
 		n.closed.Store(false)
 		return err
 	}
+	if n.events.Enabled() {
+		n.events.Emitf(obs.EvMemberLeave, obs.SevInfo,
+			"member %v drained and left the cluster", n.selfID)
+	}
 	// Unblock the ctrl loop (it has no ByeAck coming) and tear down.
 	_ = n.comm.Send(n.comm.Rank(), tagCtrl, nil)
 	e.wg.Wait()
@@ -1038,6 +1062,10 @@ func (n *Node) MarkDead(id member.NodeID) error {
 		return err
 	}
 	n.mapVersion.Set(int64(n.view.Version()))
+	if n.events.Enabled() {
+		n.events.Emitf(obs.EvMemberDead, obs.SevError,
+			"member %v marked dead; queuing repair rebalance", id)
+	}
 	e.enqueueJob(&rebalanceJob{leaver: id, leaveRank: -1}, member.NoNode)
 	return nil
 }

@@ -18,8 +18,9 @@ type ReportOptions struct {
 	// uses its epoch histogram instead).
 	StragglerMetric string
 	// StragglerFactor flags a rank whose p99 exceeds the median rank's
-	// p99 by this factor (default 2.0). <= 1 disables detection never —
-	// values are clamped to at least 1.
+	// p99 by this factor. Values below 1 (including the zero value) are
+	// replaced by the default 2.0 — detection cannot be disabled here;
+	// leave Stragglers unread instead.
 	StragglerFactor float64
 	// Elapsed, when set, is the wall-clock window the snapshots cover, so
 	// the report can state cluster files/s (the paper's Tables III/VI
@@ -78,6 +79,17 @@ func BuildClusterReport(snaps []metrics.RegistrySnapshot, opts ReportOptions) Cl
 		}
 	}
 	return r
+}
+
+// FlagStragglers returns a closure folding per-rank snapshots into the
+// flagged rank list — BuildClusterReport's detector in the shape
+// obs.MonitorOptions.Flag wants, so the live health monitor and the
+// end-of-run report can never disagree on methodology.
+func FlagStragglers(opts ReportOptions) func([]metrics.RegistrySnapshot) []int {
+	return func(snaps []metrics.RegistrySnapshot) []int {
+		r := BuildClusterReport(snaps, opts)
+		return r.Stragglers
+	}
 }
 
 // GatherReport is the cluster-report collective: every rank snapshots

@@ -41,6 +41,7 @@ import (
 	"fanstore/internal/member"
 	"fanstore/internal/metrics"
 	"fanstore/internal/mpi"
+	"fanstore/internal/obs"
 	"fanstore/internal/pack"
 	"fanstore/internal/rpc"
 	"fanstore/internal/trace"
@@ -204,6 +205,11 @@ type Options struct {
 	// prefetch) into a fixed-size ring for Chrome trace export. Nil
 	// disables tracing at zero cost on the hot path.
 	Tracer *trace.Tracer
+	// Events receives structured fault-path events (failover, map
+	// change, rebalance lifecycle, degraded reads, EC repair, eviction
+	// pressure) for the ops server's /events endpoint. Nil disables
+	// emission at zero cost on the data path.
+	Events *obs.EventLog
 }
 
 // RingReplicate passes each rank's partition blobs to its ring neighbor
@@ -340,6 +346,7 @@ type Node struct {
 	// Metrics() are thin views over them.
 	reg    *metrics.Registry
 	tracer *trace.Tracer
+	events *obs.EventLog // nil unless the ops plane is enabled
 
 	localOpens, remoteOpens, zeroCopyOpens *metrics.Counter
 	decompresses, failovers                *metrics.Counter
@@ -442,6 +449,7 @@ func newNode(comm *mpi.Comm, view *member.View, selfID member.NodeID, elastic bo
 		batchItems: batchItems,
 		reg:        reg,
 		tracer:     opts.Tracer,
+		events:     opts.Events,
 	}
 	if opts.Redundancy.Mode == RedundancyEC {
 		if !elastic {
@@ -456,6 +464,7 @@ func newNode(comm *mpi.Comm, view *member.View, selfID member.NodeID, elastic bo
 	n.instrument()
 	n.mapVersion.Set(int64(view.Version()))
 	n.cache.instrument(reg, opts.Tracer)
+	n.cache.setEvents(opts.Events)
 	n.server = rpc.NewServer(comm, tagFetch, n.handleFetch, rpc.ServerOptions{
 		Workers: opts.FetchWorkers,
 		Metrics: reg,
@@ -956,6 +965,10 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 			if i+1 < len(cands) {
 				n.failovers.Inc()
 				outcome = trace.OutcomeFailover
+				if n.events.Enabled() {
+					n.events.Emitf(obs.EvFailover, obs.SevWarn,
+						"fetch %q: node %d errored (%v), failing over", path, id, err)
+				}
 			}
 		}
 		allNotFound = attempts > 0 && misses == attempts
@@ -989,6 +1002,9 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 		// The routes were current (or just refreshed) and every candidate
 		// authoritatively answered not-found: the object is gone, not
 		// mis-routed — callers can distinguish this from transport death.
+		if n.events.Enabled() {
+			n.events.Emitf(obs.EvFailover, obs.SevError, "object %q vanished: every candidate reports not-found", path)
+		}
 		return 0, nil, outcome, &vanishedError{path: path, err: lastErr}
 	}
 	return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fanstore/internal/mpi"
+	"fanstore/internal/obs"
 )
 
 // Membership protocol tags. They live below the fanstore daemon tags
@@ -44,6 +45,8 @@ type Coordinator struct {
 	nextID NodeID
 
 	wg sync.WaitGroup
+
+	events *obs.EventLog // nil unless the ops plane is enabled
 }
 
 // Membership is one node's handle on the elastic cluster: its stable ID,
@@ -59,6 +62,20 @@ type Membership struct {
 
 	wg     sync.WaitGroup
 	closed sync.Once
+
+	events *obs.EventLog // nil unless the ops plane is enabled
+}
+
+// SetEvents attaches an ops-plane event log: the coordinator reports
+// joins and leaves as it admits them; a member reports each map
+// version it installs from a broadcast. nil (the default) keeps the
+// membership protocol event-free at zero cost. Call before traffic —
+// the listener reads the field without synchronization.
+func (m *Membership) SetEvents(ev *obs.EventLog) {
+	m.events = ev
+	if m.coord != nil {
+		m.coord.events = ev
+	}
 }
 
 // StartCoordinator creates the cluster with this rank as coordinator and
@@ -108,7 +125,10 @@ func (m *Membership) listen() {
 			return
 		}
 		if cm, err := DecodeMap(data); err == nil {
-			m.view.Update(cm)
+			if m.view.Update(cm) && m.events.Enabled() {
+				m.events.Emitf(obs.EvMapChange, obs.SevInfo,
+					"cluster map v%d installed from broadcast (%d members)", cm.Version, len(cm.Nodes))
+			}
 		}
 	}
 }
@@ -203,6 +223,10 @@ func (c *Coordinator) serve() {
 		switch data[0] {
 		case opJoin:
 			id, m := c.admit(src)
+			if c.events.Enabled() {
+				c.events.Emitf(obs.EvMemberJoin, obs.SevInfo,
+					"node %v joined at rank %d (map v%d, %d members)", id, src, m.Version, len(m.Nodes))
+			}
 			reply := make([]byte, 4, 4+12)
 			binary.LittleEndian.PutUint32(reply, uint32(id))
 			_ = c.comm.Send(src, tagMemberAck, append(reply, m.Encode()...))
@@ -216,6 +240,10 @@ func (c *Coordinator) serve() {
 			}
 			id := NodeID(int32(binary.LittleEndian.Uint32(data[1:])))
 			m := c.remove(id)
+			if c.events.Enabled() {
+				c.events.Emitf(obs.EvMemberLeave, obs.SevInfo,
+					"node %v left (map v%d, %d members)", id, m.Version, len(m.Nodes))
+			}
 			_ = c.comm.Send(src, tagMemberAck, m.Encode())
 			c.broadcast(m, src)
 		case opSync:

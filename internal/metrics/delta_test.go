@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSnapshotDeltaExact proves the windowing subtraction is exact:
+// for any two snapshots of one live histogram, Delta returns precisely
+// the samples observed between them — Count, Sum, and every bucket.
+func TestSnapshotDeltaExact(t *testing.T) {
+	h := new(Histogram)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(rng.Intn(1<<20)) * time.Microsecond)
+	}
+	prev := h.Snapshot()
+
+	// Record a known second batch and keep an exact reference histogram
+	// of just that batch.
+	ref := new(Histogram)
+	for i := 0; i < 313; i++ {
+		d := time.Duration(rng.Intn(1<<24)) * time.Microsecond
+		h.Observe(d)
+		ref.Observe(d)
+	}
+	cur := h.Snapshot()
+	want := ref.Snapshot()
+
+	got := cur.Delta(prev)
+	if got.Count != want.Count || got.Sum != want.Sum {
+		t.Fatalf("delta count/sum = %d/%d, want %d/%d", got.Count, got.Sum, want.Count, want.Sum)
+	}
+	if got.Buckets != want.Buckets {
+		t.Fatalf("delta buckets = %v, want %v", got.Buckets, want.Buckets)
+	}
+	// Derived fields come from the bucket differences, so they must
+	// match the reference histogram's own derivation bit-for-bit.
+	if got.Mean != want.Mean || got.P50 != want.P50 || got.P99 != want.P99 || got.Max != want.Max {
+		t.Fatalf("delta derived = %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotDeltaZeroPrev checks the zero snapshot acts as "the
+// beginning": Delta against it is the identity.
+func TestSnapshotDeltaZeroPrev(t *testing.T) {
+	h := new(Histogram)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(7 * time.Millisecond)
+	s := h.Snapshot()
+	if d := s.Delta(Snapshot{}); d != s {
+		t.Fatalf("delta against zero = %+v, want %+v", d, s)
+	}
+}
+
+// TestRegistryDeltaExact proves registry-level Delta semantics:
+// counters subtract exactly, histograms window exactly, and gauges
+// carry the current level/high-water through (levels are not totals).
+func TestRegistryDeltaExact(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("io.files")
+	g := r.Gauge("io.inflight")
+	h := r.Histogram("io.latency")
+
+	c.Add(100)
+	g.Set(4)
+	h.Observe(time.Millisecond)
+	prev := r.Snapshot()
+
+	c.Add(42)
+	g.Set(9)
+	g.Set(2)
+	h.Observe(16 * time.Millisecond)
+	h.Observe(16 * time.Millisecond)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if d.Counters["io.files"] != 42 {
+		t.Fatalf("counter delta = %d, want 42", d.Counters["io.files"])
+	}
+	if gv := d.Gauges["io.inflight"]; gv.Value != 2 || gv.Max != 9 {
+		t.Fatalf("gauge in delta = %+v, want level 2 max 9", gv)
+	}
+	hd := d.Histograms["io.latency"]
+	if hd.Count != 2 || hd.Sum != 2*16000 {
+		t.Fatalf("histogram delta count/sum = %d/%d, want 2/32000", hd.Count, hd.Sum)
+	}
+	// The windowed p50 reflects only the two 16ms samples, not the
+	// earlier 1ms one that dominates the cumulative view.
+	if hd.P50 < 16*time.Millisecond {
+		t.Fatalf("windowed p50 = %v, want >= 16ms", hd.P50)
+	}
+
+	// An instrument born after prev deltas against zero.
+	r.Counter("io.late").Add(7)
+	d2 := r.Snapshot().Delta(prev)
+	if d2.Counters["io.late"] != 7 {
+		t.Fatalf("new-instrument delta = %d, want 7", d2.Counters["io.late"])
+	}
+}
+
+// TestSnapshotIntoReusesMaps checks SnapshotInto's contract: values
+// refresh in place and, once the instrument set is stable, the
+// steady-state sample allocates nothing.
+func TestSnapshotIntoReusesMaps(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	r.Gauge("b").Set(1)
+	r.Histogram("c").Observe(time.Millisecond)
+
+	var s RegistrySnapshot
+	r.SnapshotInto(&s)
+	if s.Counters["a"] != 0 {
+		t.Fatalf("counter = %d, want 0", s.Counters["a"])
+	}
+	c.Add(5)
+	r.SnapshotInto(&s)
+	if s.Counters["a"] != 5 {
+		t.Fatalf("refreshed counter = %d, want 5", s.Counters["a"])
+	}
+
+	allocs := testing.AllocsPerRun(100, func() { r.SnapshotInto(&s) })
+	if allocs != 0 {
+		t.Fatalf("steady-state SnapshotInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestDeltaIntoReusesMaps checks the ring-slot path: computing a
+// window into reused maps is exact and allocation-free at steady
+// state.
+func TestDeltaIntoReusesMaps(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	h := r.Histogram("h")
+
+	var prev, cur, out RegistrySnapshot
+	r.SnapshotInto(&prev)
+	c.Add(3)
+	h.Observe(2 * time.Millisecond)
+	r.SnapshotInto(&cur)
+	cur.DeltaInto(prev, &out)
+	if out.Counters["a"] != 3 || out.Histograms["h"].Count != 1 {
+		t.Fatalf("delta = %+v, want counter 3, hist count 1", out)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() { cur.DeltaInto(prev, &out) })
+	if allocs != 0 {
+		t.Fatalf("steady-state DeltaInto allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -24,6 +24,16 @@ import (
 // numBuckets covers 1 us .. 2^31 us (~36 min) plus an overflow bucket.
 const numBuckets = 33
 
+// NumBuckets is the histogram bucket count, exported so exposition
+// layers (Prometheus text, series windows) can walk Snapshot.Buckets
+// without hard-coding the shape.
+const NumBuckets = numBuckets
+
+// BucketUpper returns the exclusive upper bound of bucket i — the
+// single source of truth for bucket boundaries, shared with external
+// expositions (e.g. Prometheus `le` labels).
+func BucketUpper(i int) time.Duration { return bucketUpper(i) }
+
 // Histogram is a fixed-bucket latency histogram. The zero value is ready
 // to use and must not be copied after first use.
 type Histogram struct {
@@ -192,6 +202,23 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	}
 	m.derive()
 	return m
+}
+
+// Delta returns the snapshot covering exactly the samples recorded
+// after prev was taken and up to s — Count, Sum, and every bucket
+// subtract exactly (all are monotonic int64 totals of the same live
+// histogram, so no precision is lost), and the convenience quantiles
+// are re-derived from the bucket differences. This is the windowing
+// primitive behind the series engine: p50/p99 "over the last window"
+// instead of since process start. prev must be an earlier snapshot of
+// the same histogram; the zero Snapshot works as "the beginning".
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range d.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	d.derive()
+	return d
 }
 
 // String renders a compact summary line.

@@ -223,6 +223,84 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	return s
 }
 
+// SnapshotInto captures every registered instrument into s, reusing
+// s's maps when present — the allocation-free sibling of Snapshot for
+// periodic samplers that re-snapshot the same registry forever. Unlike
+// Snapshot it reads instrument values while holding the registry lock:
+// the reads are single atomic loads, so the hold time stays tiny, and
+// in exchange the steady state (no instrument registered since the
+// last call) performs zero allocations. Keys are never deleted from
+// s's maps; instruments are never removed from a registry, so a stale
+// key can only appear if s is reused across different registries.
+func (r *Registry) SnapshotInto(s *RegistrySnapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]GaugeValue{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]Snapshot{}
+	}
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Snapshot()
+	}
+}
+
+// Delta returns the instrument-wise difference between s and an
+// earlier snapshot of the same registry: counters subtract exactly
+// (both are monotonic totals), histograms subtract Count/Sum/buckets
+// and re-derive windowed quantiles (see Snapshot.Delta), and gauges —
+// levels, not totals — carry s's current value and high-water mark
+// through unchanged. The zero RegistrySnapshot works as "the
+// beginning", making Delta against it the identity.
+func (s RegistrySnapshot) Delta(prev RegistrySnapshot) RegistrySnapshot {
+	d := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]GaugeValue, len(s.Gauges)),
+		Histograms: make(map[string]Snapshot, len(s.Histograms)),
+	}
+	s.DeltaInto(prev, &d)
+	return d
+}
+
+// DeltaInto writes the s-minus-prev difference into out, reusing out's
+// maps when present (the sampler's ring-slot path: after the instrument
+// set stabilizes, computing a window is allocation-free). Semantics
+// match Delta. out is assumed to track the same registry as s — keys
+// absent from s are left untouched in out.
+func (s RegistrySnapshot) DeltaInto(prev RegistrySnapshot, out *RegistrySnapshot) {
+	if out.Counters == nil {
+		out.Counters = map[string]int64{}
+	}
+	if out.Gauges == nil {
+		out.Gauges = map[string]GaugeValue{}
+	}
+	if out.Histograms == nil {
+		out.Histograms = map[string]Snapshot{}
+	}
+	for n, v := range s.Counters {
+		out.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, v := range s.Histograms {
+		out.Histograms[n] = v.Delta(prev.Histograms[n])
+	}
+}
+
 // Merge returns the element-wise combination of two snapshots: counters
 // and gauge levels add, gauge high-water marks take the maximum, and
 // histograms merge sample-by-sample. Like Snapshot.Merge it is

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestEventLogEmitAndOrder(t *testing.T) {
+	l := NewEventLog(3, 8)
+	l.Emit(EvFailover, SevError, "first")
+	l.Emitf(EvStraggler, SevWarn, "rank %d lagging", 2)
+	l.Emit(EvHealth, SevInfo, "third")
+
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() returned %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Rank != 3 {
+			t.Errorf("event %d Rank = %d, want 3", i, ev.Rank)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has zero timestamp", i)
+		}
+	}
+	if evs[0].Kind != EvFailover || evs[0].Msg != "first" {
+		t.Errorf("first event = %+v, want failover/first", evs[0])
+	}
+	if evs[1].Msg != "rank 2 lagging" {
+		t.Errorf("Emitf message = %q, want formatted", evs[1].Msg)
+	}
+	if l.Len() != 3 || l.Seq() != 3 || l.Dropped() != 0 {
+		t.Errorf("Len/Seq/Dropped = %d/%d/%d, want 3/3/0", l.Len(), l.Seq(), l.Dropped())
+	}
+}
+
+func TestEventLogRingWrap(t *testing.T) {
+	const capacity = 4
+	l := NewEventLog(0, capacity)
+	for i := 0; i < 10; i++ {
+		l.Emitf(EvHealth, SevInfo, "event %d", i)
+	}
+	if l.Len() != capacity {
+		t.Fatalf("Len = %d, want %d after wrap", l.Len(), capacity)
+	}
+	if l.Seq() != 10 {
+		t.Errorf("Seq = %d, want 10 (total emitted)", l.Seq())
+	}
+	if l.Dropped() != 10-capacity {
+		t.Errorf("Dropped = %d, want %d", l.Dropped(), 10-capacity)
+	}
+	evs := l.Events()
+	// Oldest retained first: events 6..9, Seq 7..10.
+	for i, ev := range evs {
+		wantMsg := fmt.Sprintf("event %d", 10-capacity+i)
+		if ev.Msg != wantMsg {
+			t.Errorf("retained[%d].Msg = %q, want %q", i, ev.Msg, wantMsg)
+		}
+		if ev.Seq != uint64(10-capacity+i+1) {
+			t.Errorf("retained[%d].Seq = %d, want %d", i, ev.Seq, 10-capacity+i+1)
+		}
+	}
+}
+
+func TestEventLogDefaultCapacity(t *testing.T) {
+	l := NewEventLog(0, 0)
+	for i := 0; i < DefaultEventCapacity+5; i++ {
+		l.Emit(EvHealth, SevInfo, "x")
+	}
+	if l.Len() != DefaultEventCapacity {
+		t.Errorf("Len = %d, want DefaultEventCapacity %d", l.Len(), DefaultEventCapacity)
+	}
+	if l.Dropped() != 5 {
+		t.Errorf("Dropped = %d, want 5", l.Dropped())
+	}
+}
+
+func TestEventLogNilSafety(t *testing.T) {
+	var l *EventLog
+	if l.Enabled() {
+		t.Error("nil log reports Enabled")
+	}
+	if got := NewEventLog(0, 1); !got.Enabled() {
+		t.Error("non-nil log reports disabled")
+	}
+	// None of these may panic on the nil receiver.
+	l.Emit(EvFailover, SevError, "ignored")
+	l.Emitf(EvFailover, SevError, "ignored %d", 1)
+	if l.Len() != 0 || l.Seq() != 0 || l.Dropped() != 0 {
+		t.Error("nil log reports non-zero state")
+	}
+	if evs := l.Events(); len(evs) != 0 {
+		t.Errorf("nil log Events() = %v, want empty", evs)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Errorf("nil WriteJSON: %v", err)
+	}
+	if err := l.WriteText(&buf); err != nil {
+		t.Errorf("nil WriteText: %v", err)
+	}
+}
+
+func TestEventLogWriteJSON(t *testing.T) {
+	l := NewEventLog(1, 8)
+	l.Emit(EvDegradedRead, SevWarn, "part 3 reconstructed")
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 1 || evs[0].Kind != EvDegradedRead || evs[0].Sev != SevWarn {
+		t.Errorf("round-tripped events = %+v", evs)
+	}
+	// Severity must marshal as its name, not a number.
+	if !strings.Contains(buf.String(), `"warn"`) {
+		t.Errorf("JSON missing severity name: %s", buf.String())
+	}
+}
+
+func TestEventLogWriteJSONEmpty(t *testing.T) {
+	l := NewEventLog(0, 8)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty log WriteJSON = %q, want []", got)
+	}
+}
+
+func TestEventLogWriteText(t *testing.T) {
+	l := NewEventLog(2, 8)
+	l.Emit(EvStraggler, SevWarn, "rank 2 flagged")
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, want := range []string{"warn", "straggler", "rank=2", "rank 2 flagged"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("WriteText line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarn, SevError} {
+		data, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != sev {
+			t.Errorf("severity %v round-tripped to %v", sev, back)
+		}
+	}
+}
+
+func TestEventLogConcurrentEmit(t *testing.T) {
+	l := NewEventLog(0, 64)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				l.Emitf(EvHealth, SevInfo, "writer %d event %d", w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		l.Events() // concurrent readers must not race
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if l.Seq() != 400 {
+		t.Errorf("Seq = %d, want 400", l.Seq())
+	}
+	evs := l.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained events not contiguous: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

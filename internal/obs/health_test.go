@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"fanstore/internal/metrics"
+)
+
+// flagSlowest is a toy detector for tests: flag every rank whose
+// "lat" counter is at least double the rank-0 value.
+func flagSlowest(snaps []metrics.RegistrySnapshot) []int {
+	if len(snaps) == 0 {
+		return nil
+	}
+	base := snaps[0].Counters["lat"]
+	var out []int
+	for i, s := range snaps {
+		if base > 0 && s.Counters["lat"] >= 2*base {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestMonitorFlagTransitions(t *testing.T) {
+	regs := []*metrics.Registry{metrics.NewRegistry(), metrics.NewRegistry(), metrics.NewRegistry()}
+	health := metrics.NewRegistry()
+	ev := NewEventLog(0, 32)
+	m := NewMonitor(MonitorOptions{
+		Collect: CollectRegistries(regs),
+		Flag:    flagSlowest,
+		Metrics: health,
+		Events:  ev,
+	})
+
+	for _, r := range regs {
+		r.Counter("lat").Add(10) // all even
+	}
+	flagged, err := m.Poll()
+	if err != nil || len(flagged) != 0 {
+		t.Fatalf("even poll = %v/%v, want none", flagged, err)
+	}
+
+	// Rank 2 falls behind: newly flagged, with a warn event.
+	regs[2].Counter("lat").Add(100)
+	flagged, err = m.Poll()
+	if err != nil || len(flagged) != 1 || flagged[0] != 2 {
+		t.Fatalf("skewed poll = %v/%v, want [2]", flagged, err)
+	}
+	if got := m.Flagged(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Flagged() = %v, want [2]", got)
+	}
+
+	// A second identical poll must NOT re-emit the straggler event.
+	if _, err := m.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	warns := 0
+	for _, e := range ev.Events() {
+		if e.Kind == EvStraggler && e.Sev == SevWarn {
+			warns++
+		}
+	}
+	if warns != 1 {
+		t.Errorf("straggler warn events = %d, want exactly 1 (no re-emit while still flagged)", warns)
+	}
+
+	// The other ranks catch up: rank 2 recovers, with an info event.
+	regs[0].Counter("lat").Add(100)
+	regs[1].Counter("lat").Add(100)
+	flagged, err = m.Poll()
+	if err != nil || len(flagged) != 0 {
+		t.Fatalf("recovered poll = %v/%v, want none", flagged, err)
+	}
+	recovered := false
+	for _, e := range ev.Events() {
+		if e.Kind == EvStraggler && e.Sev == SevInfo {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Error("no recovery event after rank 2 caught up")
+	}
+
+	if m.Polls() != 4 {
+		t.Errorf("Polls = %d, want 4", m.Polls())
+	}
+	hs := health.Snapshot()
+	if hs.Counters["health.polls"] != 4 {
+		t.Errorf("health.polls = %d, want 4", hs.Counters["health.polls"])
+	}
+	if hs.Gauges["health.members"].Value != 3 {
+		t.Errorf("health.members = %d, want 3", hs.Gauges["health.members"].Value)
+	}
+	if hs.Gauges["health.stragglers"].Max != 1 {
+		t.Errorf("health.stragglers max = %d, want 1", hs.Gauges["health.stragglers"].Max)
+	}
+}
+
+func TestMonitorPollFailure(t *testing.T) {
+	ev := NewEventLog(0, 32)
+	fail := errors.New("collect down")
+	failing := true
+	m := NewMonitor(MonitorOptions{
+		Collect: func() ([]metrics.RegistrySnapshot, error) {
+			if failing {
+				return nil, fail
+			}
+			return []metrics.RegistrySnapshot{{}}, nil
+		},
+		Events:  ev,
+		Metrics: metrics.NewRegistry(),
+	})
+
+	if _, err := m.Poll(); !errors.Is(err, fail) {
+		t.Fatalf("failing poll err = %v, want %v", err, fail)
+	}
+	if !errors.Is(m.LastErr(), fail) {
+		t.Errorf("LastErr = %v, want %v", m.LastErr(), fail)
+	}
+	// Repeated failure must not spam: one error event per outage.
+	_, _ = m.Poll()
+	errEvents := 0
+	for _, e := range ev.Events() {
+		if e.Kind == EvHealth && e.Sev == SevError {
+			errEvents++
+		}
+	}
+	if errEvents != 1 {
+		t.Errorf("health error events = %d, want 1 per outage", errEvents)
+	}
+
+	failing = false
+	if _, err := m.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastErr() != nil {
+		t.Errorf("LastErr after recovery = %v, want nil", m.LastErr())
+	}
+	recovered := false
+	for _, e := range ev.Events() {
+		if e.Kind == EvHealth && e.Sev == SevInfo {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Error("no health-recovered event")
+	}
+}
+
+func TestMonitorNilOptionals(t *testing.T) {
+	// No Flag, no Metrics, no Events: Poll must still work.
+	m := NewMonitor(MonitorOptions{
+		Collect: CollectRegistries([]*metrics.Registry{metrics.NewRegistry()}),
+	})
+	flagged, err := m.Poll()
+	if err != nil || len(flagged) != 0 {
+		t.Fatalf("Poll = %v/%v, want none/nil", flagged, err)
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	regs := []*metrics.Registry{metrics.NewRegistry()}
+	m := NewMonitor(MonitorOptions{
+		Interval: time.Millisecond,
+		Collect:  CollectRegistries(regs),
+	})
+	before := runtime.NumGoroutine()
+	m.Start()
+	m.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Polls() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Polls() == 0 {
+		t.Error("started monitor never polled")
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	deadline = time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after Stop = %d, want <= %d", got, before)
+	}
+}
+
+func TestCollectHTTP(t *testing.T) {
+	// Two live members behind real ops servers, one dead address.
+	reg0 := metrics.NewRegistry()
+	reg0.Counter("work").Add(5)
+	reg1 := metrics.NewRegistry()
+	reg1.Counter("work").Add(9)
+
+	srv0, err := Serve("127.0.0.1:0", ServerOptions{Registry: reg0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv0.Close()
+	srv1, err := Serve("127.0.0.1:0", ServerOptions{Registry: reg1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+
+	collect := CollectHTTP([]string{srv0.Addr(), "127.0.0.1:1", srv1.Addr()}, 500*time.Millisecond)
+	snaps, err := collect()
+	if err != nil {
+		t.Fatalf("collect with majority reachable: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("snaps = %d, want 3 (rank alignment)", len(snaps))
+	}
+	if snaps[0].Counters["work"] != 5 || snaps[2].Counters["work"] != 9 {
+		t.Errorf("scraped counters = %d/%d, want 5/9", snaps[0].Counters["work"], snaps[2].Counters["work"])
+	}
+	if len(snaps[1].Counters) != 0 {
+		t.Errorf("unreachable member snapshot = %+v, want zero", snaps[1])
+	}
+
+	// Every member unreachable: a real error.
+	collect = CollectHTTP([]string{"127.0.0.1:1"}, 200*time.Millisecond)
+	if _, err := collect(); err == nil {
+		t.Error("all-unreachable collect returned nil error")
+	}
+}

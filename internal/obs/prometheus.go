@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fanstore/internal/metrics"
+)
+
+// WritePrometheus renders a registry snapshot in Prometheus text
+// exposition format (version 0.0.4) — the /metrics endpoint's body.
+// It is derived from the same RegistrySnapshot the stable WriteText
+// format renders, not a replacement for it:
+//
+//   - counters become `<name>_total`
+//   - gauges become `<name>` plus `<name>_max` (the high-water mark)
+//   - histograms become native Prometheus histograms: cumulative
+//     `<name>_bucket{le="<seconds>"}` series over the power-of-two
+//     bucket bounds (metrics.BucketUpper), `<name>_sum` in seconds,
+//     and `<name>_count`
+//
+// Dotted instrument names sanitize to underscores
+// ("fanstore.bytes.read" -> "fanstore_bytes_read_total").
+func WritePrometheus(w io.Writer, s metrics.RegistrySnapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		bw.WriteString("# TYPE " + p + "_total counter\n")
+		bw.WriteString(p + "_total " + strconv.FormatInt(s.Counters[n], 10) + "\n")
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		g := s.Gauges[n]
+		bw.WriteString("# TYPE " + p + " gauge\n")
+		bw.WriteString(p + " " + strconv.FormatInt(g.Value, 10) + "\n")
+		bw.WriteString("# TYPE " + p + "_max gauge\n")
+		bw.WriteString(p + "_max " + strconv.FormatInt(g.Max, 10) + "\n")
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		h := s.Histograms[n]
+		bw.WriteString("# TYPE " + p + " histogram\n")
+		var cum int64
+		for i := 0; i < metrics.NumBuckets-1; i++ {
+			cum += h.Buckets[i]
+			// Elide trailing empty buckets: once the cumulative count
+			// reaches the total, higher bounds add no information and
+			// +Inf below closes the series.
+			if cum == h.Count && h.Buckets[i] == 0 {
+				continue
+			}
+			le := strconv.FormatFloat(metrics.BucketUpper(i).Seconds(), 'g', -1, 64)
+			bw.WriteString(p + `_bucket{le="` + le + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+		}
+		bw.WriteString(p + `_bucket{le="+Inf"} ` + strconv.FormatInt(h.Count, 10) + "\n")
+		sum := strconv.FormatFloat(float64(h.Sum)/1e6, 'g', -1, 64)
+		bw.WriteString(p + "_sum " + sum + "\n")
+		bw.WriteString(p + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// promName sanitizes a dotted instrument name into the Prometheus
+// identifier charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

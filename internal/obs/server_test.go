@@ -1,0 +1,398 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fanstore/internal/metrics"
+	"fanstore/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("reads").Add(42)
+	reg.Gauge("cache.used").Set(7)
+	reg.Histogram("open.latency").Observe(3 * time.Millisecond)
+	tr := trace.New(0, 64)
+	start := tr.Begin()
+	tr.End(trace.OpOpen, "/data/f0", trace.OutcomeLocal, start)
+	ev := NewEventLog(0, 16)
+	ev.Emit(EvStraggler, SevWarn, "rank 1 flagged")
+
+	healthy := atomic.Bool{}
+	healthy.Store(true)
+	// The sampler is supplied (not auto-created) so the test drives it
+	// deterministically instead of racing a background ticker.
+	sam := NewSampler(reg, SamplerOptions{})
+	srv, err := Serve("127.0.0.1:0", ServerOptions{
+		Registry: reg,
+		Sampler:  sam,
+		Tracer:   tr,
+		Events:   ev,
+		Health: func() Health {
+			if healthy.Load() {
+				return Health{OK: true, State: "ok", MapVersion: 3}
+			}
+			return Health{OK: false, State: "closed", Detail: "node is shut down"}
+		},
+		Status: func(sw *StatusWriter) {
+			sw.Section("fanstore")
+			sw.KV("rank", 0)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Feed the sampler one exact 1s window so /series has data.
+	now := time.Now()
+	sam.Sample(now)
+	reg.Counter("reads").Add(8)
+	sam.Sample(now.Add(time.Second))
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"reads_total 50", "cache_used 7", "open_latency"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/varz")
+	if code != 200 {
+		t.Fatalf("/varz status %d", code)
+	}
+	var snap metrics.RegistrySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/varz not a registry snapshot: %v", err)
+	}
+	if snap.Counters["reads"] != 50 {
+		t.Errorf("/varz reads = %d, want 50", snap.Counters["reads"])
+	}
+
+	code, body = get(t, base+"/series?window=30s")
+	if code != 200 {
+		t.Fatalf("/series status %d", code)
+	}
+	var series struct {
+		Retained int                `json:"retained"`
+		Rates    map[string]float64 `json:"rates"`
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/series decode: %v", err)
+	}
+	if series.Retained < 1 {
+		t.Errorf("/series retained = %d, want >= 1", series.Retained)
+	}
+	if series.Rates["reads"] != 8 {
+		t.Errorf("/series rates[reads] = %v, want 8", series.Rates["reads"])
+	}
+
+	// ?metric narrows, ?windows=1 attaches raw windows.
+	code, body = get(t, base+"/series?window=30s&metric=reads&windows=1")
+	if code != 200 {
+		t.Fatalf("/series?metric status %d", code)
+	}
+	var narrowed struct {
+		Rates   map[string]float64 `json:"rates"`
+		Windows []Window           `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &narrowed); err != nil {
+		t.Fatalf("/series?metric decode: %v", err)
+	}
+	if len(narrowed.Rates) != 1 {
+		t.Errorf("narrowed rates = %v, want only reads", narrowed.Rates)
+	}
+	if len(narrowed.Windows) == 0 {
+		t.Error("?windows=1 returned no windows")
+	}
+
+	if code, body = get(t, base+"/series?window=bogus"); code != http.StatusBadRequest {
+		t.Errorf("/series?window=bogus status %d, want 400: %s", code, body)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, `"map_version":3`) {
+		t.Errorf("/healthz = %d %q, want 200 with map_version 3", code, body)
+	}
+	healthy.Store(false)
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "shut down") {
+		t.Errorf("unhealthy /healthz = %d %q, want 503 with detail", code, body)
+	}
+	healthy.Store(true)
+
+	code, body = get(t, base+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz status %d", code)
+	}
+	for _, want := range []string{"ops.addr:", "events.retained:", "trace.spans:", "[fanstore]", "rank:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != 200 {
+		t.Fatalf("/trace status %d", code)
+	}
+	var chrome []map[string]any
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("/trace not Chrome trace JSON: %v", err)
+	}
+	if len(chrome) == 0 {
+		t.Error("/trace has no events")
+	}
+
+	code, body = get(t, base+"/events")
+	if code != 200 {
+		t.Fatalf("/events status %d", code)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/events decode: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Kind != EvStraggler {
+		t.Errorf("/events = %+v, want one straggler event", evs)
+	}
+	code, body = get(t, base+"/events?format=text")
+	if code != 200 || !strings.Contains(body, "rank 1 flagged") {
+		t.Errorf("/events?format=text = %d %q", code, body)
+	}
+
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestServerMissingSources(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	for _, path := range []string{"/metrics", "/varz", "/series", "/trace", "/events"} {
+		if code, _ := get(t, base+path); code != http.StatusNotFound {
+			t.Errorf("%s without a source: status %d, want 404", path, code)
+		}
+	}
+	// /healthz still answers a minimal 200 ok.
+	code, body := get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok":true`) {
+		t.Errorf("bare /healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/statusz"); code != 200 {
+		t.Errorf("bare /statusz status %d", code)
+	}
+}
+
+func TestServerOwnedSamplerLifecycle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	before := runtime.NumGoroutine()
+	srv, err := Serve("127.0.0.1:0", ServerOptions{
+		Registry:       reg,
+		SamplerOptions: SamplerOptions{Interval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sampler() == nil {
+		t.Fatal("Serve with Registry did not auto-create a sampler")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Sampler().Retained() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Sampler().Retained() == 0 {
+		t.Error("owned sampler never sampled")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Both the HTTP serve goroutine and the sampler must wind down.
+	deadline = time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after Close = %d, want <= %d", got, before)
+	}
+}
+
+// TestDisabledPathSpawnsNothing is the zero-cost-when-off acceptance
+// gate: constructing the observability objects (what a node does when
+// -ops-addr is unset and Options.Events is nil) must start no
+// goroutines and the nil event log must not allocate on emit paths.
+func TestDisabledPathSpawnsNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := metrics.NewRegistry()
+	_ = NewSampler(reg, SamplerOptions{})
+	_ = NewMonitor(MonitorOptions{Collect: CollectRegistries(nil)})
+	var l *EventLog
+	if got := runtime.NumGoroutine(); got != before {
+		t.Errorf("constructors changed goroutine count %d -> %d", before, got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if l.Enabled() {
+			l.Emitf(EvHealth, SevInfo, "never %d", 1)
+		}
+	}); allocs != 0 {
+		t.Errorf("guarded emit on nil log allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestOffsetAddr(t *testing.T) {
+	cases := []struct {
+		addr string
+		off  int
+		want string
+		err  bool
+	}{
+		{"127.0.0.1:9100", 0, "127.0.0.1:9100", false},
+		{"127.0.0.1:9100", 3, "127.0.0.1:9103", false},
+		{":9100", 2, ":9102", false},
+		{":0", 5, ":0", false}, // any-port passes through for every rank
+		{"localhost:0", 1, "localhost:0", false},
+		{"no-port", 1, "", true},
+		{"host:notanumber", 1, "", true},
+	}
+	for _, c := range cases {
+		got, err := OffsetAddr(c.addr, c.off)
+		if c.err {
+			if err == nil {
+				t.Errorf("OffsetAddr(%q, %d) = %q, want error", c.addr, c.off, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("OffsetAddr(%q, %d) = %q/%v, want %q", c.addr, c.off, got, err, c.want)
+		}
+	}
+}
+
+// TestServerUnderConcurrentLoad hammers the read endpoints over real
+// HTTP while writers storm the registry, tracer, and event log — the
+// -race gate for the ops plane's "reads never block the data path"
+// claim. Run with `go test -race ./internal/obs/...` (the make ci race
+// target does).
+func TestServerUnderConcurrentLoad(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := trace.New(0, 256)
+	ev := NewEventLog(0, 64)
+	srv, err := Serve("127.0.0.1:0", ServerOptions{
+		Registry:       reg,
+		SamplerOptions: SamplerOptions{Interval: time.Millisecond, Windows: 16},
+		Tracer:         tr,
+		Events:         ev,
+		Health:         func() Health { return Health{OK: true, State: "ok"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	const (
+		writers      = 4
+		readers      = 3
+		opsPerWriter = 2000
+	)
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+
+	// Writers: the data path under simulated load.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter(fmt.Sprintf("load.writer%d", w))
+			h := reg.Histogram("load.latency")
+			g := reg.Gauge("load.depth")
+			for i := 0; i < opsPerWriter; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i%100) * time.Microsecond)
+				g.Set(int64(i % 32))
+				start := tr.Begin()
+				tr.End(trace.OpRead, "/data/f", trace.OutcomeLocal, start)
+				if i%50 == 0 {
+					ev.Emitf(EvHealth, SevInfo, "writer %d at %d", w, i)
+				}
+			}
+		}(w)
+	}
+
+	// Readers: operators curling the ops plane mid-run.
+	paths := []string{"/metrics", "/varz", "/events", "/series?window=5s", "/healthz", "/statusz"}
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					errc <- nil
+					return
+				default:
+				}
+				resp, err := http.Get(base + paths[(r+i)%len(paths)])
+				if err != nil {
+					errc <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errc <- fmt.Errorf("status %d from %s", resp.StatusCode, paths[(r+i)%len(paths)])
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(stopReaders)
+	for r := 0; r < readers; r++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("reader failed under load: %v", err)
+		}
+	}
+
+	// The registry totals must be exact despite the concurrent scraping.
+	snap := reg.Snapshot()
+	for w := 0; w < writers; w++ {
+		name := fmt.Sprintf("load.writer%d", w)
+		if snap.Counters[name] != opsPerWriter {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], opsPerWriter)
+		}
+	}
+	if ev.Seq() != writers*opsPerWriter/50 {
+		t.Errorf("event Seq = %d, want %d", ev.Seq(), writers*opsPerWriter/50)
+	}
+}

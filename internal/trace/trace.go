@@ -315,6 +315,23 @@ func (t *Tracer) PathName(id uint32) string {
 	return ""
 }
 
+// Epoch returns the tracer's timeline origin (zero for nil or
+// synthetic tracers) — ops surfaces use it to show how far back the
+// live ring reaches.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// WriteChrome exports this tracer's live ring as Chrome trace-event
+// JSON. It is safe on a tracer still recording: Spans copies the ring
+// under the lock, so concurrent End/Record calls land in the ring or
+// the export but are never torn. This is what the ops server's /trace
+// endpoint serves mid-run.
+func (t *Tracer) WriteChrome(w io.Writer) error { return WriteChrome(w, t) }
+
 // WriteChrome merges the tracers' spans onto one timeline and writes
 // Chrome trace-event JSON (the "JSON array format"): one complete event
 // ("ph":"X") per span, sorted by start time, pid 0, tid = rank, ts/dur
