@@ -42,6 +42,6 @@ benchsmoke:
 # The benchsmoke sweep with allocation counts, rendered to a JSON
 # trajectory file (ns/op + allocs/op per benchmark) via cmd/benchjson.
 # Override BENCH_OUT to land the trajectory elsewhere.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)

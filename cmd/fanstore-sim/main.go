@@ -21,6 +21,15 @@
 // count, reconstruct p99, rebuild throughput):
 //
 //	fanstore-sim -case srgan-gtx -report -chaos-kill-rank 3 -redundancy 'ec(4,2)'
+//
+// -fidelity replays a progressive-compression schedule: the case's codec
+// is measured through the layered container (-layers planes), and the
+// scheduled leading epochs fetch only the base prefix — the
+// bandwidth-proportional read. The run prints the measured byte fraction
+// and the ablation against the full-fidelity baseline, and the report
+// shows the fidelity line (bytes saved, mean level):
+//
+//	fanstore-sim -case srgan-gtx -report -fidelity '1@2'
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"fanstore/internal/fanstore"
 	"fanstore/internal/metrics"
 	"fanstore/internal/obs"
+	"fanstore/internal/prefetch"
 	"fanstore/internal/selector"
 	"fanstore/internal/trace"
 	"fanstore/internal/trainsim"
@@ -80,6 +90,8 @@ func main() {
 		monitor  = flag.Bool("monitor", false, "run the monitored-epoch replay: the live health monitor polls every rank after each epoch and flags the skewed rank mid-run (-skew 0 derives a reliably detectable skew)")
 		opsAddr  = flag.String("ops-addr", "", "serve per-rank HTTP ops endpoints during -monitor (rank r listens on port+r; empty disables)")
 		pace     = flag.Duration("pace", 0, "wall-clock pause per simulated epoch in -monitor, so the ops endpoints can be curled mid-run (0: full speed)")
+		fidSched = flag.String("fidelity", "", "fidelity schedule for the epoch replay, \"level@epochs[,...]\" (e.g. '1@2'): the leading epochs fetch only that many layers of the layered container")
+		layersN  = flag.Int("layers", 4, "layer count of the layered container priced by -fidelity")
 	)
 	flag.Parse()
 
@@ -88,12 +100,11 @@ func main() {
 		log.Fatalf("unknown case %q", *caseName)
 	}
 
-	measure := func(name string) selector.Candidate {
-		fileSize := tc.app.FileSizeBytes()
-		sampleSize := int(fileSize)
-		if sampleSize > 256<<10 {
-			sampleSize = 256 << 10
-		}
+	sampleSize := int(tc.app.FileSizeBytes())
+	if sampleSize > 256<<10 {
+		sampleSize = 256 << 10
+	}
+	genSamples := func() [][]byte {
 		n := 4
 		if tc.kind == dataset.Tokamak {
 			n = 32
@@ -103,7 +114,11 @@ func main() {
 		for i := range samples {
 			samples[i] = g.Bytes(i)
 		}
-		c, err := selector.MeasureCandidate(name, samples)
+		return samples
+	}
+	measure := func(name string) selector.Candidate {
+		fileSize := tc.app.FileSizeBytes()
+		c, err := selector.MeasureCandidate(name, genSamples())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -196,7 +211,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	if *traceOut == "" && !*report && !*monitor {
+	if *traceOut == "" && !*report && !*monitor && *fidSched == "" {
 		return
 	}
 	// Epoch replay: run the case's configuration through the per-rank
@@ -216,6 +231,39 @@ func main() {
 	if *monitor {
 		runMonitoredSim(cfg, n, *simEpoch, *simFiles, *skew, *opsAddr, *pace)
 		return
+	}
+	// Fidelity schedule: measure the codec's layered curve so the replay
+	// prices the measured base-prefix fraction, not a guess.
+	var fsim trainsim.FidelitySim
+	if *fidSched != "" {
+		sched, err := prefetch.ParseFidelitySchedule(*fidSched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lc, err := selector.MeasureLayered(codecName, *layersN, genSamples())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The replay models one base level followed by full fidelity, so
+		// take the leading run of the schedule's first sub-full level.
+		level, baseEpochs := 0, 0
+		for e := 0; e < *simEpoch; e++ {
+			l := int(sched.LevelAt(e))
+			if l == 0 || l >= *layersN || (level != 0 && l != level) {
+				break
+			}
+			level = l
+			baseEpochs++
+		}
+		if baseEpochs > 0 {
+			pt := lc.Points[level-1]
+			fsim = trainsim.FidelitySim{
+				BaseEpochs: baseEpochs, BaseFrac: pt.BytesFrac,
+				Level: level, Layers: *layersN,
+			}
+			fmt.Printf("fidelity: level %d/%d moves %.1f%% of the container (wire ratio %.2f vs %.2f full) for %d epoch(s)\n",
+				level, *layersN, 100*pt.BytesFrac, lc.EffectiveRatio(pt), lc.Ratio, baseEpochs)
+		}
 	}
 	chaos := *killRank >= 0
 	var cc trainsim.ChaosConfig
@@ -249,6 +297,8 @@ func main() {
 			rcc := cc
 			rcc.Rank = rank
 			t = cfg.TraceEpochsChaos(*simEpoch, *simFiles, rcc, obs)
+		} else if fsim.BaseEpochs > 0 {
+			t = cfg.TraceEpochsFidelity(*simEpoch, *simFiles, fsim, obs)
 		} else {
 			rc := trainsim.ReplayConfig{Mode: trainsim.PrefetchWindow, Window: *window}
 			if *plan {
@@ -261,6 +311,15 @@ func main() {
 			elapsed = t
 		}
 		snaps[rank] = reg.Snapshot()
+	}
+	if fsim.BaseEpochs > 0 {
+		// The ablation, on an unskewed rank: the scheduled run against the
+		// same configuration at full fidelity throughout.
+		baseline := cfg.TraceEpochs(*simEpoch, *simFiles, trainsim.SimObserver{})
+		sched := cfg.TraceEpochsFidelity(*simEpoch, *simFiles, fsim, trainsim.SimObserver{})
+		fmt.Printf("fidelity ablation: scheduled %v vs full-fidelity %v (%.1f%% faster)\n",
+			sched.Round(time.Millisecond), baseline.Round(time.Millisecond),
+			100*(1-sched.Seconds()/baseline.Seconds()))
 	}
 	if *report {
 		rep := fanstore.BuildClusterReport(snaps, fanstore.ReportOptions{

@@ -91,3 +91,60 @@ func BenchmarkMatchFinder(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLayeredEncode measures the layered container build: bit-plane
+// split (or SZ base) plus per-layer inner compression.
+func BenchmarkLayeredEncode(b *testing.B) {
+	src := benchInput(256 << 10)
+	for _, scheme := range []struct {
+		name string
+		opts LayerOptions
+	}{
+		{"bits-l3", LayerOptions{Layers: 3, Codecs: []string{"lz4"}}},
+		{"float-l3", LayerOptions{Layers: 3, Scheme: LayerFloat, Codecs: []string{"lz4"}}},
+	} {
+		b.Run(scheme.name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			var dst []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				dst, err = EncodeLayered(dst[:0], src, scheme.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(src))/float64(len(dst)), "ratio")
+		})
+	}
+}
+
+// BenchmarkLayeredDecode measures the budget-proportional decode: level 1
+// touches only the base extent, the full level pays every layer plus the
+// XOR merges.
+func BenchmarkLayeredDecode(b *testing.B) {
+	src := benchInput(256 << 10)
+	cont, err := EncodeLayered(nil, src, LayerOptions{Layers: 3, Codecs: []string{"lz4"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := ParseLayerIndex(cont)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewScratch()
+	for lvl := 1; lvl <= 3; lvl++ {
+		prefix := cont[:ix.PrefixSize(lvl)]
+		b.Run(fmt.Sprintf("level=%d", lvl), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			b.ReportMetric(float64(len(prefix)), "fetchB")
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, _, err = DecodeLayeredScratch(s, dst[:0], prefix, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -56,3 +56,87 @@ func FuzzDecompress(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLayeredRoundTrip layers arbitrary payloads under both schemes and
+// checks the XOR-prefix contract: full decode is exact, every prefix
+// decodes to a full-length record.
+func FuzzLayeredRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), 2)
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), 3)
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4}, 300), 4)
+	f.Fuzz(func(t *testing.T, src []byte, layers int) {
+		if len(src) > 1<<16 {
+			src = src[:1<<16]
+		}
+		layers = 2 + (layers&0x7fffffff)%(MaxLayers-1)
+		for _, scheme := range []LayerScheme{LayerBits, LayerFloat} {
+			cont, err := EncodeLayered(nil, src, LayerOptions{Layers: layers, Scheme: scheme, Codecs: []string{"lz4"}})
+			if err != nil {
+				t.Fatalf("scheme %d: encode: %v", scheme, err)
+			}
+			ix, err := ParseLayerIndex(cont)
+			if err != nil {
+				t.Fatalf("scheme %d: index: %v", scheme, err)
+			}
+			for lvl := 1; lvl <= layers; lvl++ {
+				out, k, err := DecodeLayered(nil, cont[:ix.PrefixSize(lvl)], 0)
+				if err != nil || k != lvl {
+					t.Fatalf("scheme %d level %d: k=%d err=%v", scheme, lvl, k, err)
+				}
+				if len(out) != len(src) {
+					t.Fatalf("scheme %d level %d: %d bytes, want %d", scheme, lvl, len(out), len(src))
+				}
+				if lvl == layers && !bytes.Equal(out, src) {
+					t.Fatalf("scheme %d: full decode mismatch", scheme)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLayeredDecode feeds arbitrary bytes to the layered parser and
+// decoder: malformed indexes, truncated refinements, and overlapping
+// extents must error, never panic.
+func FuzzLayeredDecode(f *testing.F) {
+	seed, _ := EncodeLayered(nil, []byte("layered fuzz corpus seed data"), LayerOptions{Layers: 3})
+	f.Add(seed)
+	fseed, _ := EncodeLayered(nil, bytes.Repeat([]byte{0, 0, 0x80, 0x3f}, 64), LayerOptions{Layers: 2, Scheme: LayerFloat})
+	f.Add(fseed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{layeredMagic0, layeredMagic1, layeredVersion, 0, 2, 4, 0, 4, 0, 4})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, container []byte) {
+		ix, err := ParseLayerIndex(container)
+		if err == nil {
+			// A parsed index must be self-consistent even on fuzzed input.
+			if ix.Layers() < 1 || ix.OrigLen > MaxDecodedSize {
+				t.Fatalf("parser accepted bad index: layers=%d origLen=%d", ix.Layers(), ix.OrigLen)
+			}
+			for i, e := range ix.Extents {
+				want := uint32(0)
+				if i > 0 {
+					want = ix.Extents[i-1].Off + ix.Extents[i-1].Len
+				}
+				if e.Off != want {
+					t.Fatalf("parser accepted non-contiguous extent %d", i)
+				}
+			}
+		}
+		out, k, err := DecodeLayered(nil, container, 0)
+		if err == nil {
+			if k < 1 || len(out) > MaxDecodedSize {
+				t.Fatalf("decode: k=%d len=%d", k, len(out))
+			}
+		}
+		s := NewScratch()
+		sout, sk, serr := DecodeLayeredScratch(s, nil, container, 2)
+		if (serr == nil) && err == nil && k >= 2 {
+			want, _, _ := DecodeLayered(nil, container, 2)
+			if sk != 2 || !bytes.Equal(sout, want) {
+				t.Fatal("scratch decode diverges")
+			}
+		}
+		// Arbitrary bytes as a lone refinement body must also never panic.
+		_, _ = DecodeLayerBody(nil, container, 64)
+	})
+}

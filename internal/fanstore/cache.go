@@ -57,6 +57,11 @@ type cacheEntry struct {
 	// the cache does not own (written files, test fixtures) are never
 	// recycled.
 	owned bool
+	// fidelity is the layer count this entry's bytes were decoded at
+	// (FidelityFull for unlayered objects and full decodes). A reader
+	// needing more layers treats the entry as a miss and upgrades it in
+	// place; a reader needing fewer shares it as-is.
+	fidelity uint8
 }
 
 // CacheStats reports cache behaviour for tests and benchmarks.
@@ -218,16 +223,31 @@ func (c *Cache) shard(path string) *cacheShard {
 	return &c.shards[h&c.mask]
 }
 
-// Acquire pins and returns the cached decompressed data for path. The
-// caller must Release it once per successful Acquire.
+// Acquire pins and returns the cached decompressed data for path at full
+// fidelity. The caller must Release it once per successful Acquire.
 func (c *Cache) Acquire(path string) ([]byte, bool) {
+	data, _, ok := c.AcquireFidelity(path, FidelityFull)
+	return data, ok
+}
+
+// AcquireAny pins whatever fidelity the cache holds for path — the
+// upgrade path uses it to grab the base entry it will refine.
+func (c *Cache) AcquireAny(path string) ([]byte, uint8, bool) {
+	return c.AcquireFidelity(path, 1)
+}
+
+// AcquireFidelity pins and returns the cached data for path if its
+// fidelity is at least min, reporting the entry's level. An entry below
+// min is a miss (not pinned): the caller fetches or upgrades. The caller
+// must Release once per successful acquire.
+func (c *Cache) AcquireFidelity(path string, min uint8) ([]byte, uint8, bool) {
 	sh := c.shard(path)
 	sh.mu.Lock()
 	e, ok := sh.entries[path]
-	if !ok {
+	if !ok || e.fidelity < min {
 		sh.mu.Unlock()
 		c.misses.Inc()
-		return nil, false
+		return nil, 0, false
 	}
 	if e.refs == 0 {
 		c.pins.Add(1)
@@ -242,21 +262,27 @@ func (c *Cache) Acquire(path string) ([]byte, bool) {
 	if c.policy == LRU {
 		sh.order.MoveToBack(e.elem)
 	}
-	data := e.data
+	data, fid := e.data, e.fidelity
 	sh.mu.Unlock()
 	c.hits.Inc()
 	if wasPrefetched {
 		c.prefetchedHits.Inc()
 	}
-	return data, true
+	return data, fid, true
 }
 
 // Contains reports whether path is cached, without pinning it or
 // counting a hit/miss (the prefetcher uses it to skip staged work).
 func (c *Cache) Contains(path string) bool {
+	return c.ContainsFidelity(path, 1)
+}
+
+// ContainsFidelity reports whether path is cached at fidelity >= min.
+func (c *Cache) ContainsFidelity(path string, min uint8) bool {
 	sh := c.shard(path)
 	sh.mu.Lock()
-	_, ok := sh.entries[path]
+	e, ok := sh.entries[path]
+	ok = ok && e.fidelity >= min
 	sh.mu.Unlock()
 	return ok
 }
@@ -265,23 +291,33 @@ func (c *Cache) Contains(path string) bool {
 // the canonical buffer (an existing entry wins races between two openers
 // decompressing the same file). The caller must Release it.
 func (c *Cache) Insert(path string, data []byte) []byte {
-	return c.insert(path, data, false)
+	return c.insert(path, data, false, FidelityFull)
 }
 
 // InsertOwned is Insert for a buffer drawn from the decomp buffer pool:
 // ownership transfers to the cache, which recycles it when the entry is
 // removed with no readers, or immediately when an existing entry wins.
 func (c *Cache) InsertOwned(path string, data []byte) []byte {
-	return c.insert(path, data, true)
+	return c.insert(path, data, true, FidelityFull)
 }
 
-func (c *Cache) insert(path string, data []byte, owned bool) []byte {
+// InsertOwnedFidelity is InsertOwned for a partial-fidelity decode. When
+// the path is already cached at a lower fidelity the entry is upgraded in
+// place: the new bytes become canonical for future readers while current
+// readers keep the buffer they pinned.
+func (c *Cache) InsertOwnedFidelity(path string, data []byte, fid uint8) []byte {
+	return c.insert(path, data, true, fid)
+}
+
+func (c *Cache) insert(path string, data []byte, owned bool, fid uint8) []byte {
 	sh := c.shard(path)
 	sh.mu.Lock()
 	if e, ok := sh.entries[path]; ok {
 		// Another I/O thread decompressed (or the prefetcher staged)
 		// this file first; share its entry. A staged entry acquired
-		// here counts as a prefetched open, same as via Acquire.
+		// here counts as a prefetched open, same as via Acquire. Pin
+		// before any fidelity upgrade — a pinned entry cannot be chosen
+		// as an eviction victim by the capacity check the upgrade runs.
 		if e.refs == 0 {
 			c.pins.Add(1)
 			c.pinnedB.Add(int64(len(e.data)))
@@ -291,6 +327,11 @@ func (c *Cache) insert(path string, data []byte, owned bool) []byte {
 		e.prefetched = false
 		if wasPrefetched {
 			c.staged.Add(-int64(len(e.data)))
+		}
+		if e.fidelity < fid {
+			// Fidelity upgrade in place: swap the canonical bytes.
+			c.replaceLocked(sh, e, data, owned, fid)
+			owned = false // ownership transferred to the cache
 		}
 		canonical := e.data
 		sh.mu.Unlock()
@@ -303,7 +344,7 @@ func (c *Cache) insert(path string, data []byte, owned bool) []byte {
 		}
 		return canonical
 	}
-	e := &cacheEntry{path: path, data: data, refs: 1, owned: owned}
+	e := &cacheEntry{path: path, data: data, refs: 1, owned: owned, fidelity: fid}
 	e.elem = sh.order.PushBack(e)
 	sh.entries[path] = e
 	sh.used += int64(len(data))
@@ -316,6 +357,34 @@ func (c *Cache) insert(path string, data []byte, owned bool) []byte {
 	return data
 }
 
+// replaceLocked swaps an entry's bytes for a higher-fidelity decode while
+// preserving every accounting invariant. Readers holding the old buffer
+// keep it: a pinned buffer is never recycled mid-upgrade (it is orphaned
+// to the garbage collector instead), only an unreferenced owned buffer
+// returns to the pool. Pinned/staged byte totals shift by the size delta
+// so the eventual Release/Acquire pairs still balance against the new
+// length.
+func (c *Cache) replaceLocked(sh *cacheShard, e *cacheEntry, data []byte, owned bool, fid uint8) {
+	delta := int64(len(data)) - int64(len(e.data))
+	if e.refs > 0 {
+		c.pinnedB.Add(delta)
+	}
+	if e.prefetched {
+		c.staged.Add(delta)
+	}
+	sh.used += delta
+	c.used.Add(delta)
+	if e.owned && e.refs == 0 {
+		decomp.PutBuf(e.data)
+	}
+	e.data = data
+	e.owned = owned
+	e.fidelity = fid
+	if sh.used > sh.capacity {
+		c.evictLocked(sh)
+	}
+}
+
 // InsertIdle stages decompressed data for path unpinned (refs=0), for
 // the look-ahead prefetcher: the entry is immediately evictable, so a
 // canceled epoch cannot wedge the pool with pins nobody will release,
@@ -323,26 +392,38 @@ func (c *Cache) insert(path string, data []byte, owned bool) []byte {
 // existing entry wins (nothing is replaced); reports whether the data
 // was staged.
 func (c *Cache) InsertIdle(path string, data []byte) bool {
-	return c.insertIdle(path, data, false)
+	return c.insertIdle(path, data, false, FidelityFull)
 }
 
 // InsertIdleOwned is InsertIdle for a decomp buffer-pool buffer; when an
 // existing entry wins, the duplicate is recycled immediately.
 func (c *Cache) InsertIdleOwned(path string, data []byte) bool {
-	return c.insertIdle(path, data, true)
+	return c.insertIdle(path, data, true, FidelityFull)
 }
 
-func (c *Cache) insertIdle(path string, data []byte, owned bool) bool {
+// InsertIdleOwnedFidelity is InsertIdleOwned for a partial-fidelity
+// decode. An existing entry of equal or higher fidelity wins; a
+// lower-fidelity one is upgraded in place (keeping its pin/staged state).
+func (c *Cache) InsertIdleOwnedFidelity(path string, data []byte, fid uint8) bool {
+	return c.insertIdle(path, data, true, fid)
+}
+
+func (c *Cache) insertIdle(path string, data []byte, owned bool, fid uint8) bool {
 	sh := c.shard(path)
 	sh.mu.Lock()
-	if _, ok := sh.entries[path]; ok {
-		sh.mu.Unlock()
-		if owned {
-			decomp.PutBuf(data)
+	if e, ok := sh.entries[path]; ok {
+		if e.fidelity >= fid {
+			sh.mu.Unlock()
+			if owned {
+				decomp.PutBuf(data)
+			}
+			return false
 		}
-		return false
+		c.replaceLocked(sh, e, data, owned, fid)
+		sh.mu.Unlock()
+		return true
 	}
-	e := &cacheEntry{path: path, data: data, prefetched: true, owned: owned}
+	e := &cacheEntry{path: path, data: data, prefetched: true, owned: owned, fidelity: fid}
 	e.elem = sh.order.PushBack(e)
 	sh.entries[path] = e
 	sh.used += int64(len(data))
@@ -484,4 +565,16 @@ func (c *Cache) prefetchedOpens() int64 {
 // pinned reports the number of entries with live references (test hook).
 func (c *Cache) pinned() int {
 	return int(c.pins.Load())
+}
+
+// entryFidelity reports the cached fidelity level of path (test hook).
+func (c *Cache) entryFidelity(path string) (uint8, bool) {
+	sh := c.shard(path)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[path]
+	if !ok {
+		return 0, false
+	}
+	return e.fidelity, true
 }

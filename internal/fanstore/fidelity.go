@@ -1,0 +1,28 @@
+package fanstore
+
+// Fidelity levels across the fetch plane. A level is the number of
+// container layers a reader wants: 1 is the base layer, 2 adds the first
+// refinement, and so on. FidelityFull is the sentinel for "every layer" —
+// unlayered objects, written files, and full decodes of layered objects
+// all carry it, so a plain numeric >= comparison answers "is this cached
+// entry good enough for that reader". Level 0 requests are normalized to
+// FidelityFull (an open that asks for nothing wants everything).
+const FidelityFull uint8 = 0xFF
+
+// normalizeFidelity maps the 0 wire value onto the full sentinel.
+func normalizeFidelity(level uint8) uint8 {
+	if level == 0 {
+		return FidelityFull
+	}
+	return level
+}
+
+// metaFidelity returns the fidelity a level-budget decode of m reaches:
+// FidelityFull when the budget covers every layer (or the object is not
+// layered at all), else the level itself.
+func metaFidelity(m *FileMeta, level uint8) uint8 {
+	if m.Layers() == 0 || level == 0 || int(level) >= m.Layers() {
+		return FidelityFull
+	}
+	return level
+}

@@ -58,7 +58,7 @@ func (n *Node) Open(path string) (*File, error) {
 		}
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
-	data, pinned, outcome, err := n.openBytes(m)
+	data, pinned, outcome, err := n.openBytes(m, n.FidelityLevel())
 	n.tracer.End(trace.OpOpen, cp, outcome, tstart)
 	if err != nil {
 		return nil, err

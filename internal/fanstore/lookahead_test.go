@@ -159,7 +159,7 @@ func TestFetchManyPartialMissOverWire(t *testing.T) {
 			}
 			m := &FileMeta{Path: keys[i], Size: int64(len(want[keys[i]]))}
 			id := uint16(items[i].Payload[0]) | uint16(items[i].Payload[1])<<8
-			data, err := node.decompress(m, id, items[i].Payload[2:], decomp.PriOpen)
+			data, _, err := node.decompress(m, id, items[i].Payload[2:], decomp.PriOpen, FidelityFull)
 			if err != nil {
 				return fmt.Errorf("item %d: %w", i, err)
 			}

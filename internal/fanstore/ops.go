@@ -70,6 +70,13 @@ func (n *Node) WriteStatus(sw *obs.StatusWriter) {
 	if n.ec != nil {
 		sw.KV("ec.degraded.parts", n.ecDegradedCount())
 	}
+	if lvl := n.FidelityLevel(); lvl != FidelityFull {
+		sw.KV("fidelity.level", lvl)
+	} else {
+		sw.KV("fidelity.level", "full")
+	}
+	sw.KV("fetch.bytes.saved", n.fetchBytesSaved.Value())
+	sw.KV("fetch.upgrades", n.fetchUpgrades.Value())
 }
 
 // StartOps binds addr and serves this rank's ops endpoints —

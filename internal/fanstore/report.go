@@ -179,6 +179,18 @@ func (r *ClusterReport) Render(w io.Writer) {
 			r.Merged.Gauges["member.map.version"].Max,
 			r.counterTotal("fanstore.map.refreshes"))
 	}
+	// Progressive-compression clusters only: the bandwidth-proportional
+	// read's dividend. Bytes saved and upgrades are both zero on a
+	// full-fidelity run, which keeps the line out of the classic report.
+	// The fidelity histogram observes each layered decode's layer count
+	// as that many microseconds, so Sum/Count recovers the mean level.
+	if saved, ups := r.counterTotal("fanstore.fetch.bytes.saved"), r.counterTotal("fanstore.fetch.upgrades"); saved > 0 || ups > 0 {
+		line := fmt.Sprintf("fidelity: %d B saved  upgrades=%d", saved, ups)
+		if s, ok := r.Merged.Histograms["fanstore.fidelity.level"]; ok && s.Count > 0 {
+			line += fmt.Sprintf("  mean level=%.2f", float64(s.Sum)/float64(s.Count))
+		}
+		fmt.Fprintf(w, "%s\n", line)
+	}
 	// Erasure-coded clusters that lost (or repaired) a rank: how reads
 	// behaved while the stripe was short. Degraded reads and repaired
 	// bytes are both zero on a healthy run, which keeps the line out of

@@ -93,6 +93,25 @@ const (
 	// node to hold — the shard-placement half of ec redundancy. Re-pushes
 	// of the same (gid, index) overwrite.
 	opStoreShard = byte(6)
+	// opFetchOneL is the budgeted opFetchOne: the body is
+	// [u8 level][path]. For a layered object the response payload is the
+	// container prefix covering the first `level` layers — the
+	// bandwidth-proportional read; unlayered objects (and level
+	// FidelityFull) answer the whole payload, exactly like opFetchOne.
+	opFetchOneL = byte(7)
+	// opFetchOneVL is the elastic budgeted fetch:
+	// [u64 mapVersion][u8 level][path], with opFetchOneV's stale-status
+	// semantics on a miss.
+	opFetchOneVL = byte(8)
+	// opFetchManyL is the budgeted opFetchMany: the body is
+	// rpc.EncodeKeysLevels(paths, levels) and each OK item is clipped to
+	// its per-item layer budget.
+	opFetchManyL = byte(9)
+	// opFetchRange requests raw payload bytes of one object:
+	// [u64 off][u32 len][path]. The response is the bytes themselves, no
+	// compressor header — the upgrade path uses it to pull only the
+	// refinement extents a cached lower-fidelity entry is missing.
+	opFetchRange = byte(10)
 )
 
 // batchGetConcurrency bounds concurrent backend reads inside one
@@ -291,9 +310,17 @@ type Stats struct {
 	// object was already staged or already being produced by a
 	// concurrent open or overlapping prefetch.
 	PrefetchSuppressed int64
-	Cache              CacheStats
-	Daemon             rpc.ServerStats // this rank's fetch daemon (peer-facing)
-	RPC                rpc.ClientStats // this rank's outbound fetch calls
+	// FetchUpgrades counts in-place fidelity upgrades: a cached lower-
+	// fidelity entry promoted by fetching only its missing refinement
+	// extents instead of the whole object.
+	FetchUpgrades int64
+	// FetchBytesSaved totals the container bytes budgeted fetches and
+	// upgrades did NOT move, relative to fetching each object whole at
+	// full fidelity — the bandwidth-proportional read's dividend.
+	FetchBytesSaved int64
+	Cache           CacheStats
+	Daemon          rpc.ServerStats // this rank's fetch daemon (peer-facing)
+	RPC             rpc.ClientStats // this rank's outbound fetch calls
 }
 
 // Node is one rank's FanStore instance: metadata table, storage backend,
@@ -342,6 +369,12 @@ type Node struct {
 	closed   atomic.Bool
 	daemon   sync.WaitGroup // the write-metadata service loop
 
+	// fidelity is the node's current layer budget for demand opens and
+	// default prefetches: 0 means full fidelity, k means "decode only the
+	// first k layers of layered objects". A fidelity schedule (epochs 0–3
+	// at the base layer, say) flips it between epochs via SetFidelity.
+	fidelity atomic.Uint32
+
 	// Registry-backed data-path instruments ("fanstore.*"); Stats() and
 	// Metrics() are thin views over them.
 	reg    *metrics.Registry
@@ -354,12 +387,14 @@ type Node struct {
 	batchedFetches                         *metrics.Counter
 	fetchCoalesced, prefetchSuppressed     *metrics.Counter
 	mapRefreshes                           *metrics.Counter
+	fetchUpgrades, fetchBytesSaved         *metrics.Counter
 	mapVersion                             *metrics.Gauge
 
 	openHist       *metrics.Histogram // whole open(): lookup + fetch + decompress
 	fetchHist      *metrics.Histogram // remote fetch round trips only
 	decompressHist *metrics.Histogram // codec time per decompressed object
 	readHist       *metrics.Histogram // whole-file reads (ReadFile)
+	fidelityHist   *metrics.Histogram // layers decoded per layered decode (µs = level)
 }
 
 // instrument registers the node's counters and histograms in its
@@ -376,11 +411,17 @@ func (n *Node) instrument() {
 	n.fetchCoalesced = n.reg.Counter("fanstore.fetch.coalesced")
 	n.prefetchSuppressed = n.reg.Counter("fanstore.prefetch.suppressed")
 	n.mapRefreshes = n.reg.Counter("fanstore.map.refreshes")
+	n.fetchUpgrades = n.reg.Counter("fanstore.fetch.upgrades")
+	n.fetchBytesSaved = n.reg.Counter("fanstore.fetch.bytes.saved")
 	n.mapVersion = n.reg.Gauge("member.map.version")
 	n.openHist = n.reg.Histogram("fanstore.open.latency")
 	n.fetchHist = n.reg.Histogram("fanstore.fetch.latency")
 	n.decompressHist = n.reg.Histogram("fanstore.decompress.latency")
 	n.readHist = n.reg.Histogram("fanstore.read.latency")
+	// The fidelity histogram abuses the duration scale as a unitless one:
+	// each layered decode observes its decoded layer count as that many
+	// microseconds, so Snapshot.Sum/Count recovers the mean level.
+	n.fidelityHist = n.reg.Histogram("fanstore.fidelity.level")
 }
 
 // Metrics exposes the node's latency histograms: open() end-to-end, the
@@ -578,7 +619,7 @@ func (n *Node) loadPartition(blob []byte) ([]FileMeta, error) {
 	metas := make([]FileMeta, 0, len(p.Entries))
 	for i := range p.Entries {
 		e := &p.Entries[i]
-		metas = append(metas, FileMeta{
+		fm := FileMeta{
 			Path:         cleanPath(e.Path),
 			Size:         e.Stat.Size,
 			Mode:         e.Stat.Mode,
@@ -587,7 +628,18 @@ func (n *Node) loadPartition(blob []byte) ([]FileMeta, error) {
 			CompressorID: e.CompressorID,
 			Owner:        int32(n.selfID),
 			MapVersion:   n.view.Version(),
-		})
+		}
+		// Layered entries carry their cumulative extent table in the
+		// metadata record, so every rank can turn a fidelity budget into
+		// a byte range without touching the container first.
+		if ix, ok, err := e.LayerIndex(); err == nil && ok {
+			lp := make([]uint32, ix.Layers())
+			for k := range lp {
+				lp[k] = uint32(ix.PrefixSize(k + 1))
+			}
+			fm.LayerPrefix = lp
+		}
+		metas = append(metas, fm)
 	}
 	return metas, nil
 }
@@ -683,6 +735,14 @@ func (n *Node) handleFetch(_ int, payload []byte) ([]byte, error) {
 		return n.handleFetchShard(payload[1:])
 	case opStoreShard:
 		return n.handleStoreShard(payload[1:])
+	case opFetchOneL:
+		return n.handleFetchOneL(payload[1:])
+	case opFetchOneVL:
+		return n.handleFetchOneVL(payload[1:])
+	case opFetchManyL:
+		return n.handleFetchManyL(payload[1:])
+	case opFetchRange:
+		return n.handleFetchRange(payload[1:])
 	default:
 		return nil, fmt.Errorf("fanstore: unknown fetch op %d", payload[0])
 	}
@@ -774,6 +834,125 @@ func (n *Node) fetchObject(path string) ([]byte, error) {
 	resp := decomp.GetBuf(2 + len(data))[:2]
 	binary.LittleEndian.PutUint16(resp, id)
 	return append(resp, data...), nil
+}
+
+// fetchObjectBudget is fetchObject under a layer budget: a layered
+// object's payload is clipped to the container prefix covering the first
+// `level` layers — any prefix of layers decodes to a valid lower-fidelity
+// record, so the response is self-contained. Unlayered objects (written
+// files included) and the full-fidelity level answer whole.
+func (n *Node) fetchObjectBudget(path string, level uint8) ([]byte, error) {
+	resp, err := n.fetchObject(path)
+	if err != nil || level == 0 || level == FidelityFull || len(resp) < 2 {
+		return resp, err
+	}
+	id := binary.LittleEndian.Uint16(resp)
+	if !codec.IsLayered(id) {
+		return resp, nil
+	}
+	ix, perr := codec.ParseLayerIndex(resp[2:])
+	if perr != nil {
+		// A corrupt index would fail the client's decode anyway; answer
+		// whole so the error surfaces with full evidence.
+		return resp, nil
+	}
+	if k := int(level); k < ix.Layers() {
+		resp = resp[:2+ix.PrefixSize(k)]
+	}
+	return resp, nil
+}
+
+// handleFetchOneL answers a budgeted single fetch: [u8 level][path].
+func (n *Node) handleFetchOneL(body []byte) ([]byte, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("fanstore: short budgeted fetch frame")
+	}
+	return n.fetchObjectBudget(string(body[1:]), body[0])
+}
+
+// handleFetchOneVL answers the elastic budgeted fetch:
+// [u64 mapVersion][u8 level][path], with opFetchOneV's stale diagnosis
+// on a version-mismatched miss.
+func (n *Node) handleFetchOneVL(body []byte) ([]byte, error) {
+	if len(body) < 9 {
+		return nil, fmt.Errorf("fanstore: short versioned budgeted fetch frame")
+	}
+	callerVer := binary.LittleEndian.Uint64(body)
+	resp, err := n.fetchObjectBudget(string(body[9:]), body[8])
+	if err != nil && errors.Is(err, rpc.ErrNotFound) {
+		if have := n.view.Version(); have != callerVer {
+			return nil, fmt.Errorf("%w: have v%d, caller routed on v%d", rpc.ErrStale, have, callerVer)
+		}
+	}
+	return resp, err
+}
+
+// handleFetchManyL answers a budgeted batch: the body is
+// rpc.EncodeKeysLevels and every OK item is clipped to its own layer
+// budget, so one round trip carries a mixed-fidelity window.
+func (n *Node) handleFetchManyL(body []byte) ([]byte, error) {
+	paths, levels, err := rpc.DecodeKeysLevels(body)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]rpc.Item, len(paths))
+	sem := make(chan struct{}, batchGetConcurrency)
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, path string, level uint8) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			payload, err := n.fetchObjectBudget(path, level)
+			switch {
+			case err == nil:
+				items[i] = rpc.Item{Status: rpc.ItemOK, Payload: payload}
+			case errors.Is(err, rpc.ErrNotFound):
+				items[i] = rpc.Item{Status: rpc.ItemNotFound}
+			default:
+				items[i] = rpc.Item{Status: rpc.ItemError, Payload: []byte(err.Error())}
+			}
+		}(i, path, levels[i])
+	}
+	wg.Wait()
+	out := rpc.EncodeItems(items)
+	for i := range items {
+		if items[i].Status == rpc.ItemOK {
+			decomp.PutBuf(items[i].Payload)
+			items[i].Payload = nil
+		}
+	}
+	return out, nil
+}
+
+// handleFetchRange answers a raw byte-range read of one object's payload:
+// [u64 off][u32 len][path] → the bytes themselves, no compressor header.
+// The upgrade path uses it to pull exactly the refinement extents a
+// cached lower-fidelity entry is missing.
+func (n *Node) handleFetchRange(body []byte) ([]byte, error) {
+	if len(body) < 12 {
+		return nil, fmt.Errorf("fanstore: short range fetch frame")
+	}
+	off := binary.LittleEndian.Uint64(body)
+	length := binary.LittleEndian.Uint32(body[8:])
+	path := string(body[12:])
+	id, data, err := n.backend.Get(path)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil, rpc.ErrNotFound
+		}
+		return nil, err
+	}
+	if !codec.IsLayered(id) {
+		return nil, fmt.Errorf("fanstore: range fetch of unlayered object %q", path)
+	}
+	end := off + uint64(length)
+	if end < off || end > uint64(len(data)) {
+		return nil, fmt.Errorf("fanstore: range [%d,%d) outside %q payload (%d bytes)", off, end, path, len(data))
+	}
+	resp := decomp.GetBuf(int(length))
+	return append(resp, data[off:end]...), nil
 }
 
 // handleFetchMany answers a batched fetch: every requested object is
@@ -880,7 +1059,12 @@ func (n *Node) refreshRoutes(path string) *FileMeta {
 // ID) triggers a map-and-metadata refresh followed by re-resolution
 // against the refreshed record — not a failover: the object exists, the
 // route was just planned on an old map.
-func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
+//
+// level is the layer budget: 0 or FidelityFull fetches the whole object
+// with the classic ops; anything else rides the budgeted ops and the
+// server clips layered containers to the level's prefix. Bytes the clip
+// kept off the wire are credited to fetch.bytes.saved.
+func (n *Node) fetchRemote(m *FileMeta, level uint8) (uint16, []byte, trace.Outcome, error) {
 	start := time.Now()
 	tstart := n.tracer.Begin()
 	outcome := trace.OutcomeRemoteFetch
@@ -921,12 +1105,23 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 				continue
 			}
 			attempts++
+			budgeted := level != 0 && level != FidelityFull
 			var req []byte
-			if n.elastic {
+			switch {
+			case n.elastic && budgeted:
+				req = make([]byte, 10, 10+len(path))
+				req[0] = opFetchOneVL
+				binary.LittleEndian.PutUint64(req[1:], n.view.Version())
+				req[9] = level
+			case n.elastic:
 				req = make([]byte, 9, 9+len(path))
 				req[0] = opFetchOneV
 				binary.LittleEndian.PutUint64(req[1:], n.view.Version())
-			} else {
+			case budgeted:
+				req = make([]byte, 2, 2+len(path))
+				req[0] = opFetchOneL
+				req[1] = level
+			default:
 				req = make([]byte, 1, 1+len(path))
 				req[0] = opFetchOne
 			}
@@ -937,6 +1132,7 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 					continue
 				}
 				n.remoteBytes.Add(int64(len(resp)))
+				n.creditBytesSaved(m, int64(len(resp)-2))
 				return binary.LittleEndian.Uint16(resp), resp[2:], outcome, nil
 			}
 			lastErr = err
@@ -1010,6 +1206,59 @@ func (n *Node) fetchRemote(m *FileMeta) (uint16, []byte, trace.Outcome, error) {
 	return 0, nil, outcome, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
 }
 
+// creditBytesSaved accounts a budgeted fetch's dividend: the container
+// bytes a whole-object full-fidelity fetch of m would have moved, minus
+// what actually crossed the wire. No-op for unlayered objects and
+// unclipped responses.
+func (n *Node) creditBytesSaved(m *FileMeta, fetched int64) {
+	if L := m.Layers(); L > 0 {
+		if saved := int64(m.LayerPrefix[L-1]) - fetched; saved > 0 {
+			n.fetchBytesSaved.Add(saved)
+		}
+	}
+}
+
+// fetchRemoteRange pulls payload bytes [off, off+length) of m's layered
+// container — the refinement extents an upgrade is missing. It walks the
+// same rotated candidate list as fetchRemote but without the stale-map
+// recovery loop: an upgrade is an opportunistic fast path, so any failure
+// just returns and the caller falls back to a whole budgeted fetch (which
+// owns refresh and failover).
+func (n *Node) fetchRemoteRange(m *FileMeta, off int64, length int) ([]byte, error) {
+	cands := n.fetchCandidates(m)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("fanstore: no remote node serves %q", m.Path)
+	}
+	first := int(n.routeSeq.Add(1)) % len(cands)
+	var lastErr error
+	for i := 0; i < len(cands); i++ {
+		dst, err := n.view.Resolve(cands[(first+i)%len(cands)])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req := make([]byte, 13, 13+len(m.Path))
+		req[0] = opFetchRange
+		binary.LittleEndian.PutUint64(req[1:], uint64(off))
+		binary.LittleEndian.PutUint32(req[9:], uint32(length))
+		resp, err := n.client.Call(dst, append(req, m.Path...))
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, mpi.ErrAborted) {
+				break
+			}
+			continue
+		}
+		if len(resp) != length {
+			lastErr = fmt.Errorf("fanstore: range fetch of %q returned %d bytes, want %d", m.Path, len(resp), length)
+			continue
+		}
+		n.remoteBytes.Add(int64(len(resp)))
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrRemoteGone, lastErr)
+}
+
 // prefetchTarget is one not-yet-staged remote object being walked
 // through its candidate ranks by Prefetch. The target's flight (the
 // prefetch is its leader) is finished nil as soon as the object is
@@ -1033,10 +1282,22 @@ type prefetchTarget struct {
 // best-effort: a partial miss or peer failure falls over to the next
 // replica and finally to on-demand fetching at Open; Prefetch never
 // fails the training loop. Returns the number of objects staged.
+// Prefetch stages at the node's current fidelity level (SetFidelity).
 func (n *Node) Prefetch(paths []string) int {
+	return n.PrefetchFidelity(paths, n.FidelityLevel())
+}
+
+// PrefetchFidelity is Prefetch under an explicit layer budget: layered
+// objects are fetched as level-layer container prefixes (one budgeted
+// batch round trip per owner) and staged at that fidelity. A cached entry
+// already at or above the budget suppresses the target; prefetch never
+// upgrades a resident entry — upgrades belong to the demand path, which
+// knows a reader actually wants the extra layers.
+func (n *Node) PrefetchFidelity(paths []string, level uint8) int {
 	if n.closed.Load() || len(paths) == 0 {
 		return 0
 	}
+	level = normalizeFidelity(level)
 	tstart := n.tracer.Begin()
 	defer n.tracer.End(trace.OpPrefetch, "", trace.OutcomeNone, tstart)
 	// Resolve the window down to remote, uncached, not-in-flight paths.
@@ -1055,15 +1316,23 @@ func (n *Node) Prefetch(paths []string) int {
 		if !ok || written || n.backend.Contains(cp) {
 			continue
 		}
+		want := metaFidelity(m, level)
+		if n.cache.ContainsFidelity(cp, want) {
+			n.prefetchSuppressed.Inc() // already staged or resident at this fidelity
+			continue
+		}
 		if n.cache.Contains(cp) {
-			n.prefetchSuppressed.Inc() // already staged or resident
+			// Resident below the budget: leave it — a demand open at the
+			// higher level will upgrade in place, which is cheaper than a
+			// speculative re-stage.
+			n.prefetchSuppressed.Inc()
 			continue
 		}
 		cands := n.fetchCandidates(m)
 		if len(cands) == 0 {
 			continue
 		}
-		f, leader := n.beginFlight(cp)
+		f, leader := n.beginFlightFid(cp, want)
 		if !leader {
 			// A demand open or an overlapping prefetch is already
 			// producing it; that flight's result lands in the cache.
@@ -1106,7 +1375,7 @@ func (n *Node) Prefetch(paths []string) int {
 			wg.Add(1)
 			go func(dst int, group []*prefetchTarget) {
 				defer wg.Done()
-				ok, failed := n.prefetchFrom(dst, group)
+				ok, failed := n.prefetchFrom(dst, group, level)
 				mu.Lock()
 				staged += ok
 				retry = append(retry, failed...)
@@ -1133,14 +1402,14 @@ func (n *Node) Prefetch(paths []string) int {
 // calls as BatchItems requires — an epoch-scale plan batch cannot build
 // one monster frame — and returns the targets dst could not serve so
 // the caller can fail over.
-func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, failed []*prefetchTarget) {
+func (n *Node) prefetchFrom(dst int, group []*prefetchTarget, level uint8) (staged int, failed []*prefetchTarget) {
 	keys := make([]string, len(group))
 	for i, t := range group {
 		keys[i] = t.m.Path
 	}
 	off := 0
 	for _, chunk := range rpc.SplitKeys(keys, n.batchItems) {
-		ok, f := n.prefetchChunk(dst, chunk, group[off:off+len(chunk)])
+		ok, f := n.prefetchChunk(dst, chunk, group[off:off+len(chunk)], level)
 		off += len(chunk)
 		staged += ok
 		failed = append(failed, f...)
@@ -1152,8 +1421,17 @@ func (n *Node) prefetchFrom(dst int, group []*prefetchTarget) (staged int, faile
 // slice of targets, decompresses and stages what came back, and
 // finishes the flight of every staged target so coalesced opens
 // unblock as soon as their object lands.
-func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget) (staged int, failed []*prefetchTarget) {
-	req := append([]byte{opFetchMany}, rpc.EncodeKeys(keys)...)
+func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget, level uint8) (staged int, failed []*prefetchTarget) {
+	var req []byte
+	if level != FidelityFull {
+		levels := make([]uint8, len(keys))
+		for i := range levels {
+			levels[i] = level
+		}
+		req = append([]byte{opFetchManyL}, rpc.EncodeKeysLevels(keys, levels)...)
+	} else {
+		req = append([]byte{opFetchMany}, rpc.EncodeKeys(keys)...)
+	}
 	n.batchedFetches.Inc()
 	resp, err := n.client.Call(dst, req)
 	if err != nil {
@@ -1167,6 +1445,7 @@ func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget) (s
 	// whole window decompresses in parallel while demand opens still
 	// preempt it (they submit at PriOpen and are drained first).
 	decoded := make([][]byte, len(items))
+	fids := make([]uint8, len(items))
 	var wg sync.WaitGroup
 	for i := range items {
 		it := &items[i]
@@ -1174,12 +1453,14 @@ func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget) (s
 			continue
 		}
 		n.remoteBytes.Add(int64(len(it.Payload)))
+		n.creditBytesSaved(group[i].m, int64(len(it.Payload)-2))
 		i, t := i, group[i]
 		wg.Add(1)
 		n.decode.Submit(decomp.PriPrefetch, &wg, func(s *codec.Scratch) {
-			data, err := n.decodeObject(s, t.m, binary.LittleEndian.Uint16(it.Payload), it.Payload[2:])
+			data, fid, err := n.decodeObject(s, t.m, binary.LittleEndian.Uint16(it.Payload), it.Payload[2:], level)
 			if err == nil {
 				decoded[i] = data
+				fids[i] = fid
 			}
 		})
 	}
@@ -1190,7 +1471,7 @@ func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget) (s
 			failed = append(failed, t)
 			continue
 		}
-		if n.cache.InsertIdleOwned(t.m.Path, decoded[i]) {
+		if n.cache.InsertIdleOwnedFidelity(t.m.Path, decoded[i], fids[i]) {
 			staged++
 		}
 		n.finishFlight(t.m.Path, t.flight, nil)
@@ -1200,43 +1481,67 @@ func (n *Node) prefetchChunk(dst int, keys []string, group []*prefetchTarget) (s
 
 // decompress turns a compressed object into file bytes on the shared
 // decode pool at the given priority, validating size against the
-// metadata record. The returned buffer comes from the decomp buffer
-// pool: ownership passes to the caller, who must hand it to the cache
-// via InsertOwned/InsertIdleOwned (or recycle it on failure).
-func (n *Node) decompress(m *FileMeta, compressorID uint16, comp []byte, pri decomp.Priority) ([]byte, error) {
+// metadata record. level is the layer budget for layered objects
+// (0/FidelityFull: decode everything the payload carries); the returned
+// fidelity reports what the bytes actually reached. The returned buffer
+// comes from the decomp buffer pool: ownership passes to the caller, who
+// must hand it to the cache via InsertOwned/InsertIdleOwned (or recycle
+// it on failure).
+func (n *Node) decompress(m *FileMeta, compressorID uint16, comp []byte, pri decomp.Priority, level uint8) ([]byte, uint8, error) {
 	var out []byte
+	var fid uint8
 	var err error
 	n.decode.Run(pri, func(s *codec.Scratch) {
-		out, err = n.decodeObject(s, m, compressorID, comp)
+		out, fid, err = n.decodeObject(s, m, compressorID, comp, level)
 	})
-	return out, err
+	return out, fid, err
 }
 
 // decodeObject is the codec work of one decode job, running on a pool
 // worker with its per-worker scratch (or inline with a nil scratch when
 // the pool is closed). The latency histogram brackets codec time only —
 // queue wait has its own instrument ("decomp.queue.wait.latency").
-func (n *Node) decodeObject(s *codec.Scratch, m *FileMeta, compressorID uint16, comp []byte) ([]byte, error) {
-	cfg, ok := codec.ByID(compressorID)
-	if !ok {
-		return nil, fmt.Errorf("fanstore: %s: unknown compressor %d", m.Path, compressorID)
-	}
+// Layered objects decode through the container path: any layer prefix
+// XORs to a full-length record, so the m.Size check holds at every
+// fidelity.
+func (n *Node) decodeObject(s *codec.Scratch, m *FileMeta, compressorID uint16, comp []byte, level uint8) ([]byte, uint8, error) {
 	start := time.Now()
 	tstart := n.tracer.Begin()
-	out, err := codec.DecompressScratch(cfg.Codec, s, decomp.GetBuf(int(m.Size)), comp)
+	var out []byte
+	var err error
+	fid := FidelityFull
+	if codec.IsLayered(compressorID) {
+		maxL := 0
+		if level != 0 && level != FidelityFull {
+			maxL = int(level)
+		}
+		var k int
+		out, k, err = codec.DecodeLayeredScratch(s, decomp.GetBuf(int(m.Size)), comp, maxL)
+		if err == nil {
+			n.fidelityHist.Observe(time.Duration(k) * time.Microsecond)
+			fid = metaFidelity(m, uint8(k))
+		}
+	} else {
+		cfg, ok := codec.ByID(compressorID)
+		if !ok {
+			n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeError, tstart)
+			return nil, 0, fmt.Errorf("fanstore: %s: unknown compressor %d", m.Path, compressorID)
+		}
+		out, err = codec.DecompressScratch(cfg.Codec, s, decomp.GetBuf(int(m.Size)), comp)
+	}
 	n.decompressHist.Observe(time.Since(start))
 	if err != nil {
 		decomp.PutBuf(out)
 		n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeError, tstart)
-		return nil, fmt.Errorf("fanstore: %s: %w", m.Path, err)
+		return nil, 0, fmt.Errorf("fanstore: %s: %w", m.Path, err)
 	}
 	n.tracer.End(trace.OpDecompress, m.Path, trace.OutcomeNone, tstart)
 	if int64(len(out)) != m.Size {
 		decomp.PutBuf(out)
-		return nil, fmt.Errorf("fanstore: %s: decompressed %d bytes, metadata says %d", m.Path, len(out), m.Size)
+		return nil, 0, fmt.Errorf("fanstore: %s: decompressed %d bytes, metadata says %d", m.Path, len(out), m.Size)
 	}
 	n.decompresses.Inc()
-	return out, nil
+	return out, fid, nil
 }
 
 // open produces the decompressed bytes for a metadata record, following
@@ -1249,17 +1554,21 @@ func (n *Node) decodeObject(s *codec.Scratch, m *FileMeta, compressorID uint16, 
 // which never enters the cache. outcome tells the tracer which arm of
 // Fig. 2 served the open; an open served by another producer's flight
 // reports OutcomeCoalesced.
-func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, outcome trace.Outcome, err error) {
+// level is the open's layer budget (0/FidelityFull: everything); a
+// cached entry below the budget's fidelity is a miss, and the producer
+// upgrades it in place when a lower-fidelity base is already resident.
+func (n *Node) openBytes(m *FileMeta, level uint8) (data []byte, pinned bool, outcome trace.Outcome, err error) {
+	want := metaFidelity(m, level)
 	coalesced := false
 	for {
-		if data, ok := n.cache.Acquire(m.Path); ok {
+		if data, _, ok := n.cache.AcquireFidelity(m.Path, want); ok {
 			outcome := trace.OutcomeCacheHit
 			if coalesced {
 				outcome = trace.OutcomeCoalesced
 			}
 			return data, true, outcome, nil
 		}
-		f, leader := n.beginFlight(m.Path)
+		f, leader := n.beginFlightFid(m.Path, want)
 		if !leader {
 			n.fetchCoalesced.Inc()
 			coalesced = true
@@ -1269,19 +1578,24 @@ func (n *Node) openBytes(m *FileMeta) (data []byte, pinned bool, outcome trace.O
 			}
 			// The leader's result is in the cache (pinned by an open
 			// leader, or staged idle by a prefetch leader); Acquire
-			// shares it. If it was abandoned or already evicted (tiny
-			// cache), loop and produce it on demand.
+			// shares it. If it was abandoned, already evicted (tiny
+			// cache), or a lower-fidelity flight than this open needs,
+			// loop: the next pass leads its own (upgrade) flight.
 			continue
 		}
-		data, pinned, outcome, err := n.produceBytes(m)
+		data, pinned, outcome, err := n.produceBytes(m, level)
 		n.finishFlight(m.Path, f, err)
 		return data, pinned, outcome, err
 	}
 }
 
-// produceBytes performs the actual Fig. 2 data path for one file.
-// pinned is false for the zero-copy path (no cache entry to release).
-func (n *Node) produceBytes(m *FileMeta) (data []byte, pinned bool, outcome trace.Outcome, err error) {
+// produceBytes performs the actual Fig. 2 data path for one file at the
+// given layer budget. pinned is false for the zero-copy path (no cache
+// entry to release). When a lower-fidelity base is already cached and the
+// object is remote, the refinement extents are fetched by byte range and
+// XORed onto a copy of the base — the upgrade-in-place path — instead of
+// re-fetching the whole prefix.
+func (n *Node) produceBytes(m *FileMeta, level uint8) (data []byte, pinned bool, outcome trace.Outcome, err error) {
 	n.mu.RLock()
 	wdata, written := n.writes[m.Path]
 	n.mu.RUnlock()
@@ -1310,23 +1624,92 @@ func (n *Node) produceBytes(m *FileMeta) (data []byte, pinned bool, outcome trac
 		if err != nil {
 			return nil, false, trace.OutcomeError, err
 		}
-		data, err := n.decompress(m, id, comp, decomp.PriOpen)
+		// The local payload is whole regardless of budget; the budget
+		// still caps decode work (fewer layers XORed).
+		data, fid, err := n.decompress(m, id, comp, decomp.PriOpen, level)
 		if err != nil {
 			return nil, false, trace.OutcomeError, err
 		}
-		return n.cache.InsertOwned(m.Path, data), true, outcome, nil
+		return n.cache.InsertOwnedFidelity(m.Path, data, fid), true, outcome, nil
 	default:
 		n.remoteOpens.Inc()
-		id, comp, outcome, err := n.fetchRemote(m)
+		want := metaFidelity(m, level)
+		if data, ok := n.upgradeInPlace(m, want); ok {
+			return data, true, trace.OutcomeRemoteFetch, nil
+		}
+		id, comp, outcome, err := n.fetchRemote(m, level)
 		if err != nil {
 			return nil, false, outcome, err
 		}
-		data, err := n.decompress(m, id, comp, decomp.PriOpen)
+		data, fid, err := n.decompress(m, id, comp, decomp.PriOpen, level)
 		if err != nil {
 			return nil, false, trace.OutcomeError, err
 		}
-		return n.cache.InsertOwned(m.Path, data), true, outcome, nil
+		return n.cache.InsertOwnedFidelity(m.Path, data, fid), true, outcome, nil
 	}
+}
+
+// upgradeInPlace promotes an already-cached lower-fidelity entry to want
+// by fetching only the missing refinement extents: the byte range
+// [LayerPrefix[have-1], LayerPrefix[want-1]) of the container, each body
+// decoded and XORed onto a copy of the cached base. On success the
+// upgraded bytes replace the entry and return pinned. Any miss — no base
+// cached, no extent table, a range-fetch or decode failure — reports
+// ok=false and the caller performs a whole budgeted fetch. Opportunistic
+// and lossless: the base entry stays pinned (so untouched and valid)
+// until the upgraded copy is built from it.
+func (n *Node) upgradeInPlace(m *FileMeta, want uint8) (data []byte, ok bool) {
+	L := m.Layers()
+	if L == 0 || want < 2 {
+		return nil, false // unlayered, or nothing above the base to add
+	}
+	base, have, okBase := n.cache.AcquireAny(m.Path)
+	if !okBase {
+		return nil, false
+	}
+	if have >= want {
+		// Raced with another producer that already got there.
+		return base, true
+	}
+	to := int(want)
+	if want == FidelityFull || to > L {
+		to = L
+	}
+	from := int(have) // have < want <= FidelityFull and have != FidelityFull ⇒ a real level ≥ 1
+	off := int64(m.LayerPrefix[from-1])
+	raw, err := n.fetchRemoteRange(m, off, int(int64(m.LayerPrefix[to-1])-off))
+	if err != nil {
+		n.cache.Release(m.Path)
+		return nil, false
+	}
+	out := decomp.GetBuf(int(m.Size))
+	out = append(out, base...)
+	n.decode.Run(decomp.PriOpen, func(s *codec.Scratch) {
+		plane := decomp.GetBuf(int(m.Size))
+		defer decomp.PutBuf(plane)
+		for j := from; j < to; j++ {
+			lo := int(int64(m.LayerPrefix[j-1]) - off)
+			hi := int(int64(m.LayerPrefix[j]) - off)
+			plane, err = codec.DecodeLayerBodyScratch(s, plane[:0], raw[lo:hi], int(m.Size))
+			if err != nil {
+				return
+			}
+			codec.XORInto(out, plane)
+		}
+	})
+	n.cache.Release(m.Path)
+	if err != nil {
+		decomp.PutBuf(out)
+		return nil, false
+	}
+	// Relative to a whole full-fidelity fetch: the upgrade skipped both
+	// the base prefix it reused from the cache and any layers past want.
+	if saved := int64(m.LayerPrefix[L-1]) - int64(len(raw)); saved > 0 {
+		n.fetchBytesSaved.Add(saved)
+	}
+	n.fetchUpgrades.Inc()
+	n.fidelityHist.Observe(time.Duration(to) * time.Microsecond)
+	return n.cache.InsertOwnedFidelity(m.Path, out, metaFidelity(m, uint8(to))), true
 }
 
 // Close shuts the daemon down. It must be called collectively after all
@@ -1372,6 +1755,8 @@ func (n *Node) Stats() Stats {
 		PrefetchedOpens:    n.cache.prefetchedOpens(),
 		FetchCoalesced:     n.fetchCoalesced.Value(),
 		PrefetchSuppressed: n.prefetchSuppressed.Value(),
+		FetchUpgrades:      n.fetchUpgrades.Value(),
+		FetchBytesSaved:    n.fetchBytesSaved.Value(),
 		Cache:              n.cache.Stats(),
 		Daemon:             n.server.Stats(),
 		RPC:                n.client.Stats(),
@@ -1392,6 +1777,24 @@ func (n *Node) PlanTarget(path string) (size int64, remote bool) {
 		return 0, false
 	}
 	return m.Size, !n.backend.Contains(cp)
+}
+
+// SetFidelity sets the node's layer budget for demand opens and default
+// prefetches: 0 (or FidelityFull) restores full fidelity, k caps layered
+// objects at their first k layers. A fidelity schedule flips it between
+// epochs — entries staged at a lower level upgrade in place the first
+// time a higher-budget open touches them. Written files and unlayered
+// objects are unaffected: they are always exact.
+func (n *Node) SetFidelity(level uint8) { n.fidelity.Store(uint32(normalizeFidelity(level))) }
+
+// FidelityLevel reports the node's current layer budget (FidelityFull
+// when no budget is set).
+func (n *Node) FidelityLevel() uint8 {
+	v := n.fidelity.Load()
+	if v == 0 {
+		return FidelityFull
+	}
+	return uint8(v)
 }
 
 // CacheHeadroom reports the decompressed cache capacity not held down

@@ -11,14 +11,20 @@ func FuzzParse(f *testing.F) {
 		BuildOptions{Partitions: 1, Compressor: "lz4"}); err == nil {
 		f.Add(b.Scatter[0])
 	}
+	if b, err := Build([]InputFile{{Path: "b", Data: []byte("layered fuzz seed payload")}},
+		BuildOptions{Partitions: 1, Compressor: "lz4", Layers: 3}); err == nil {
+		f.Add(b.Scatter[0])
+	}
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		p, err := Parse(blob)
 		if err != nil {
 			return
 		}
 		for i := range p.Entries {
-			// Decompress may fail (CRC); it must not panic.
+			// Decompress may fail (CRC); it must not panic — including
+			// layered entries with a fuzzed extent table.
 			p.Entries[i].Decompress(nil)
+			p.Entries[i].LayerIndex()
 		}
 	})
 }

@@ -1,0 +1,79 @@
+package pack
+
+import (
+	"bytes"
+	"testing"
+
+	"fanstore/internal/codec"
+)
+
+// TestBuildLayered covers the layered data-prep path: entries carry the
+// LayeredID sentinel, decompress at full fidelity to the exact original,
+// and expose a sub-object extent table for byte-range fetches.
+func TestBuildLayered(t *testing.T) {
+	files := []InputFile{
+		{Path: "train/a", Data: bytes.Repeat([]byte("abcdefgh"), 512)},
+		{Path: "train/b", Data: make([]byte, 4096)},
+		{Path: "train/c", Data: []byte("tiny")},
+	}
+	b, err := Build(files, BuildOptions{Partitions: 2, Compressor: "lz4", Layers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string][]byte{}
+	for _, f := range files {
+		byPath[f.Path] = f.Data
+	}
+	seen := 0
+	for _, blob := range b.Scatter {
+		p, err := Parse(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			seen++
+			if !codec.IsLayered(e.CompressorID) {
+				t.Fatalf("%s: compressor id %d, want layered sentinel", e.Path, e.CompressorID)
+			}
+			out, err := e.Decompress(nil)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Path, err)
+			}
+			if !bytes.Equal(out, byPath[e.Path]) {
+				t.Fatalf("%s: full-fidelity decode differs", e.Path)
+			}
+			ix, layered, err := e.LayerIndex()
+			if err != nil || !layered {
+				t.Fatalf("%s: LayerIndex layered=%v err=%v", e.Path, layered, err)
+			}
+			if ix.Layers() != 3 || ix.PrefixSize(3) != len(e.Data) {
+				t.Fatalf("%s: layers=%d prefix(3)=%d len=%d", e.Path, ix.Layers(), ix.PrefixSize(3), len(e.Data))
+			}
+			if ix.PrefixSize(1) >= len(e.Data) {
+				t.Fatalf("%s: base layer prefix %d is not shorter than the container %d", e.Path, ix.PrefixSize(1), len(e.Data))
+			}
+			// A fidelity-1 prefix decodes to a full-length record.
+			base, k, err := codec.DecodeLayered(nil, e.Data[:ix.PrefixSize(1)], 0)
+			if err != nil || k != 1 || int64(len(base)) != e.Stat.Size {
+				t.Fatalf("%s: base decode k=%d len=%d err=%v", e.Path, k, len(base), err)
+			}
+		}
+	}
+	if seen != len(files) {
+		t.Fatalf("saw %d entries, want %d", seen, len(files))
+	}
+
+	// Non-layered entries report layered=false with no error.
+	plain, err := Build(files[:1], BuildOptions{Partitions: 1, Compressor: "lz4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(plain.Scatter[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, layered, err := p.Entries[0].LayerIndex(); layered || err != nil {
+		t.Fatalf("plain entry: layered=%v err=%v", layered, err)
+	}
+}

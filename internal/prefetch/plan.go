@@ -10,6 +10,8 @@
 package prefetch
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,63 @@ type PlanStore interface {
 	CacheHeadroom() int64
 	// StagedBytes is the bytes currently staged but not yet consumed.
 	StagedBytes() int64
+}
+
+// FidelityPrefetcher is the optional budgeted staging surface: a store
+// that can fetch layered objects as container prefixes exposes it, and
+// a Scheduler with a fidelity level routes staging through it.
+// fanstore's Node satisfies it.
+type FidelityPrefetcher interface {
+	// PrefetchFidelity stages paths at the given layer budget and
+	// returns how many were staged. Level 0 means full fidelity.
+	PrefetchFidelity(paths []string, level uint8) int
+}
+
+// FidelityPhase is one leg of a fidelity schedule: Epochs epochs at
+// layer budget Level (0: full fidelity).
+type FidelityPhase struct {
+	Epochs int
+	Level  uint8
+}
+
+// FidelitySchedule maps training epochs to layer budgets — the
+// progressive-compression curriculum ("epochs 0–3 at the base layer,
+// then full"). Phases apply in order; epochs past the last phase run at
+// full fidelity.
+type FidelitySchedule []FidelityPhase
+
+// LevelAt returns the layer budget for an epoch (0: full fidelity).
+func (fs FidelitySchedule) LevelAt(epoch int) uint8 {
+	for _, ph := range fs {
+		if epoch < ph.Epochs {
+			return ph.Level
+		}
+		epoch -= ph.Epochs
+	}
+	return 0
+}
+
+// ParseFidelitySchedule parses the CLI syntax "level@epochs,...", e.g.
+// "1@4,2@4" — four epochs at the base layer, four at two layers, full
+// fidelity after. A bare "level" final phase is not allowed (it would
+// never end); use the implicit full-fidelity tail instead. Empty input
+// yields a nil schedule (always full fidelity).
+func ParseFidelitySchedule(s string) (FidelitySchedule, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out FidelitySchedule
+	for _, part := range strings.Split(s, ",") {
+		var level, epochs int
+		if _, err := fmt.Sscanf(part, "%d@%d", &level, &epochs); err != nil {
+			return nil, fmt.Errorf("prefetch: bad fidelity phase %q (want level@epochs)", part)
+		}
+		if level < 0 || level > 255 || epochs <= 0 {
+			return nil, fmt.Errorf("prefetch: bad fidelity phase %q (level 0-255, epochs > 0)", part)
+		}
+		out = append(out, FidelityPhase{Epochs: epochs, Level: uint8(level)})
+	}
+	return out, nil
 }
 
 // PlanItem is one remote object the epoch will consume.
@@ -97,6 +156,11 @@ type SchedOptions struct {
 	Metrics *metrics.Registry
 	// Tracer records one OpPrefetch span covering the whole plan replay.
 	Tracer *trace.Tracer
+	// Fidelity is the layer budget this epoch's staging runs at (0: full
+	// fidelity). Takes effect only when the store also implements
+	// FidelityPrefetcher; admission still accounts full decompressed
+	// sizes — layered decodes are full-length at every level.
+	Fidelity uint8
 }
 
 // Scheduler streams an epoch plan into a store: batches of upcoming
@@ -106,11 +170,12 @@ type SchedOptions struct {
 // consumed are dropped, not staged. All methods are safe for
 // concurrent use.
 type Scheduler struct {
-	store PlanStore
-	plan  *Plan
-	batch int
-	admit int64
-	poll  time.Duration
+	store    PlanStore
+	plan     *Plan
+	batch    int
+	admit    int64
+	poll     time.Duration
+	fidelity uint8
 
 	consumed atomic.Int64 // first iteration not yet delivered
 	maxStage atomic.Int64 // high-water of StagedBytes (test hook)
@@ -140,19 +205,20 @@ func NewScheduler(store PlanStore, plan *Plan, opts SchedOptions) *Scheduler {
 		poll = 200 * time.Microsecond
 	}
 	s := &Scheduler{
-		store:   store,
-		plan:    plan,
-		batch:   batch,
-		admit:   opts.AdmissionBytes,
-		poll:    poll,
-		kick:    make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		planned: opts.Metrics.Counter("prefetch.plan.items"),
-		batches: opts.Metrics.Counter("prefetch.plan.batches"),
-		staged:  opts.Metrics.Counter("prefetch.plan.staged"),
-		skipped: opts.Metrics.Counter("prefetch.plan.skipped"),
-		waits:   opts.Metrics.Counter("prefetch.plan.admission.waits"),
-		tracer:  opts.Tracer,
+		store:    store,
+		plan:     plan,
+		batch:    batch,
+		admit:    opts.AdmissionBytes,
+		poll:     poll,
+		fidelity: opts.Fidelity,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		planned:  opts.Metrics.Counter("prefetch.plan.items"),
+		batches:  opts.Metrics.Counter("prefetch.plan.batches"),
+		staged:   opts.Metrics.Counter("prefetch.plan.staged"),
+		skipped:  opts.Metrics.Counter("prefetch.plan.skipped"),
+		waits:    opts.Metrics.Counter("prefetch.plan.admission.waits"),
+		tracer:   opts.Tracer,
 	}
 	s.planned.Add(int64(len(plan.Items)))
 	s.wg.Add(1)
@@ -200,11 +266,22 @@ func (s *Scheduler) run() {
 			return // stopped while waiting
 		}
 		s.batches.Inc()
-		s.staged.Add(int64(s.store.Prefetch(paths)))
+		s.staged.Add(int64(s.stage(paths)))
 		if st := s.store.StagedBytes(); st > s.maxStage.Load() {
 			s.maxStage.Store(st)
 		}
 	}
+}
+
+// stage hands one admitted batch to the store, through the budgeted
+// surface when a fidelity level is set and the store supports it.
+func (s *Scheduler) stage(paths []string) int {
+	if s.fidelity != 0 {
+		if fp, ok := s.store.(FidelityPrefetcher); ok {
+			return fp.PrefetchFidelity(paths, s.fidelity)
+		}
+	}
+	return s.store.Prefetch(paths)
 }
 
 // budget is the total ceiling for staged-but-unread bytes: the override

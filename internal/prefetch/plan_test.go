@@ -76,13 +76,22 @@ func (f *fakePlanStore) consume(n int64) {
 }
 
 func fakeStore(files, size int) (*fakePlanStore, []string) {
-	f := &fakePlanStore{remote: make(map[string]int64), headroom: 1 << 30}
+	f := &fakePlanStore{}
+	paths := initFakeStore(f, files, size)
+	return f, paths
+}
+
+// initFakeStore populates an already-allocated fake store in place (so
+// embedders avoid copying its mutex) and returns the remote paths.
+func initFakeStore(f *fakePlanStore, files, size int) []string {
+	f.remote = make(map[string]int64)
+	f.headroom = 1 << 30
 	paths := make([]string, files)
 	for i := range paths {
 		paths[i] = fmt.Sprintf("data/%04d.bin", i)
 		f.remote[paths[i]] = int64(size)
 	}
-	return f, paths
+	return paths
 }
 
 // TestBuildPlanMaterializesRemoteSequence checks plan construction:
@@ -257,3 +266,74 @@ func (f readerFunc) ReadFile(path string) ([]byte, error) { return f(path) }
 
 // schedSkipped reads the scheduler's skipped-items counter.
 func schedSkipped(s *Scheduler) int64 { return s.skipped.Value() }
+
+// fidelityPlanStore extends the fake store with the budgeted surface so
+// the scheduler's FidelityPrefetcher routing is observable.
+type fidelityPlanStore struct {
+	fakePlanStore
+	levels []uint8 // level of each budgeted call
+}
+
+func (f *fidelityPlanStore) PrefetchFidelity(paths []string, level uint8) int {
+	f.mu.Lock()
+	f.levels = append(f.levels, level)
+	f.mu.Unlock()
+	return f.fakePlanStore.Prefetch(paths)
+}
+
+// TestSchedulerStagesAtFidelity checks that a fidelity-budgeted
+// scheduler routes every batch through PrefetchFidelity at its level,
+// and that level 0 keeps using the classic Prefetch path.
+func TestSchedulerStagesAtFidelity(t *testing.T) {
+	store := &fidelityPlanStore{}
+	paths := initFakeStore(&store.fakePlanStore, 8, 1<<10)
+	plan := BuildPlan(RangeSampler(paths, 2, 0, 1), store)
+	sched := NewScheduler(store, plan, SchedOptions{BatchFiles: 4, Fidelity: 1})
+	sched.Wait()
+	if len(store.fetched) != len(paths) {
+		t.Fatalf("staged %d paths, want %d", len(store.fetched), len(paths))
+	}
+	if len(store.levels) == 0 {
+		t.Fatalf("no batch went through the budgeted surface")
+	}
+	for _, lvl := range store.levels {
+		if lvl != 1 {
+			t.Fatalf("batch staged at level %d, want 1", lvl)
+		}
+	}
+
+	store2 := &fidelityPlanStore{}
+	paths2 := initFakeStore(&store2.fakePlanStore, 4, 1<<10)
+	plan2 := BuildPlan(RangeSampler(paths2, 2, 0, 1), store2)
+	sched2 := NewScheduler(store2, plan2, SchedOptions{BatchFiles: 4})
+	sched2.Wait()
+	if len(store2.levels) != 0 {
+		t.Fatalf("full-fidelity scheduler used the budgeted surface %d times", len(store2.levels))
+	}
+	if len(store2.fetched) != len(paths2) {
+		t.Fatalf("full-fidelity scheduler staged %d paths, want %d", len(store2.fetched), len(paths2))
+	}
+}
+
+// TestFidelityScheduleParseAndLevels covers the CLI schedule syntax and
+// the epoch→level mapping, including the implicit full-fidelity tail.
+func TestFidelityScheduleParseAndLevels(t *testing.T) {
+	fs, err := ParseFidelitySchedule("1@4,2@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := []uint8{1, 1, 1, 1, 2, 2, 0, 0}
+	for epoch, want := range wantLevels {
+		if got := fs.LevelAt(epoch); got != want {
+			t.Fatalf("epoch %d: level %d, want %d", epoch, got, want)
+		}
+	}
+	if fs, err := ParseFidelitySchedule(""); err != nil || fs != nil {
+		t.Fatalf("empty schedule: %v %v", fs, err)
+	}
+	for _, bad := range []string{"1", "x@2", "1@0", "1@-3", "300@2", "1@2,,2@2"} {
+		if _, err := ParseFidelitySchedule(bad); err == nil {
+			t.Fatalf("schedule %q parsed, want error", bad)
+		}
+	}
+}

@@ -101,6 +101,60 @@ func DecodeKeys(p []byte) ([]string, error) {
 	return keys, nil
 }
 
+// EncodeKeysLevels serializes object keys with a per-item fidelity budget
+// (the max layer count a budgeted fetch should return; fanstore's
+// FidelityFull sentinel means the whole object). Layout:
+// u32 count | (u8 level | u32 len | bytes)*.
+func EncodeKeysLevels(keys []string, levels []uint8) []byte {
+	n := 4
+	for _, k := range keys {
+		n += 5 + len(k)
+	}
+	out := make([]byte, 4, n)
+	binary.LittleEndian.PutUint32(out, uint32(len(keys)))
+	for i, k := range keys {
+		lvl := uint8(0xFF)
+		if i < len(levels) {
+			lvl = levels[i]
+		}
+		out = append(out, lvl)
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(k)))
+		out = append(out, l[:]...)
+		out = append(out, k...)
+	}
+	return out
+}
+
+// DecodeKeysLevels parses a leveled batched request payload.
+func DecodeKeysLevels(p []byte) ([]string, []uint8, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("rpc: leveled key frame truncated (%d bytes)", len(p))
+	}
+	count := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	keys := make([]string, 0, count)
+	levels := make([]uint8, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 5 {
+			return nil, nil, fmt.Errorf("rpc: leveled key %d: header truncated", i)
+		}
+		lvl := p[0]
+		l := int(binary.LittleEndian.Uint32(p[1:]))
+		p = p[5:]
+		if len(p) < l {
+			return nil, nil, fmt.Errorf("rpc: leveled key %d: %d bytes declared, %d remain", i, l, len(p))
+		}
+		keys = append(keys, string(p[:l]))
+		levels = append(levels, lvl)
+		p = p[l:]
+	}
+	if len(p) != 0 {
+		return nil, nil, fmt.Errorf("rpc: leveled key frame has %d trailing bytes", len(p))
+	}
+	return keys, levels, nil
+}
+
 // EncodeItems serializes a batched response, one status-framed item per
 // requested key, in request order.
 func EncodeItems(items []Item) []byte {

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"fanstore/internal/mpi"
@@ -130,5 +131,34 @@ func TestBatchedCallPartialMiss(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLeveledKeyFrameRoundTrip(t *testing.T) {
+	keys := []string{"train/a", "train/b", "", "train/long/path/c"}
+	levels := []uint8{1, 2, 0xFF, 3}
+	p := EncodeKeysLevels(keys, levels)
+	gotKeys, gotLevels, err := DecodeKeysLevels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotKeys, keys) || !reflect.DeepEqual(gotLevels, levels) {
+		t.Fatalf("round trip: %v %v", gotKeys, gotLevels)
+	}
+
+	// A short levels slice pads with the full-fidelity sentinel.
+	p = EncodeKeysLevels(keys, levels[:1])
+	_, gotLevels, err = DecodeKeysLevels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLevels[0] != 1 || gotLevels[1] != 0xFF || gotLevels[3] != 0xFF {
+		t.Fatalf("padding: %v", gotLevels)
+	}
+
+	for _, bad := range [][]byte{nil, {1}, {1, 0, 0, 0, 2}, append(EncodeKeysLevels(keys, levels), 9)} {
+		if _, _, err := DecodeKeysLevels(bad); err == nil {
+			t.Fatalf("malformed frame %v accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,147 @@
+// Fidelity-aware compressor selection: the paper's Equations 1-3 gain a
+// layer dimension. A layered container (internal/codec) lets the fetch
+// plane read any prefix of layers, so each candidate is no longer one
+// (cost, ratio) point but a curve of fidelity points — level k moves
+// BytesFrac of the full container and pays that level's decode cost. The
+// same per-file budget arithmetic then answers a new question: which
+// layer budget can a warmup epoch run at, and is the wire saving worth
+// the XOR work.
+
+package selector
+
+import (
+	"fmt"
+	"time"
+
+	"fanstore/internal/codec"
+)
+
+// FidelityPoint is one level of a layered candidate's fidelity curve.
+type FidelityPoint struct {
+	// Level is the layer budget (1 = base layer ... Layers = full).
+	Level int
+	// BytesFrac is the fraction of the full container a level-Level
+	// fetch moves (PrefixSize(Level) / PrefixSize(Layers), dataset mean).
+	BytesFrac float64
+	// DecompressPerFile is the mean per-file decode cost at this level.
+	DecompressPerFile time.Duration
+	// Feasible and PerFileBudget are filled by EvaluateFidelity: does
+	// this level's decode fit the budget its own effective ratio earns.
+	Feasible      bool
+	PerFileBudget time.Duration
+}
+
+// LayeredCandidate is one inner codec measured through the layered
+// container: the full-fidelity ratio plus the per-level fidelity curve.
+type LayeredCandidate struct {
+	Name   string
+	Layers int
+	// Ratio is the full-container compression ratio (raw / container).
+	Ratio  float64
+	Points []FidelityPoint
+}
+
+// EffectiveRatio is the level's wire ratio: raw bytes over the container
+// prefix a level-k fetch actually moves. The base layer of an 8-plane
+// split routinely triples the full-fidelity ratio.
+func (lc *LayeredCandidate) EffectiveRatio(p FidelityPoint) float64 {
+	if p.BytesFrac <= 0 {
+		return lc.Ratio
+	}
+	return lc.Ratio / p.BytesFrac
+}
+
+// MeasureLayered profiles one inner codec through the layered container
+// on sample files: it encodes every sample with `layers` layers, then
+// measures, per level, the container prefix fraction and the mean decode
+// cost — the fidelity-curve inputs of EvaluateFidelity.
+func MeasureLayered(name string, layers int, samples [][]byte) (LayeredCandidate, error) {
+	if layers < 2 || layers > codec.MaxLayers {
+		return LayeredCandidate{}, fmt.Errorf("selector: layered candidate needs 2..%d layers, got %d", codec.MaxLayers, layers)
+	}
+	opts := codec.LayerOptions{Layers: layers, Codecs: []string{name}}
+	var raw int64
+	prefix := make([]int64, layers) // cumulative container bytes per level
+	containers := make([][]byte, len(samples))
+	for i, s := range samples {
+		cont, err := codec.EncodeLayered(nil, s, opts)
+		if err != nil {
+			return LayeredCandidate{}, fmt.Errorf("selector: %s layered: %w", name, err)
+		}
+		ix, err := codec.ParseLayerIndex(cont)
+		if err != nil {
+			return LayeredCandidate{}, fmt.Errorf("selector: %s layered: %w", name, err)
+		}
+		containers[i] = cont
+		raw += int64(len(s))
+		for k := 1; k <= layers; k++ {
+			prefix[k-1] += int64(ix.PrefixSize(k))
+		}
+	}
+	full := prefix[layers-1]
+	lc := LayeredCandidate{
+		Name:   name,
+		Layers: layers,
+		Ratio:  float64(raw) / float64(full),
+	}
+	// Time each level's decode over enough repetitions to be stable,
+	// mirroring MeasureCandidate's budget arithmetic.
+	reps := 1
+	if raw < 8<<20 {
+		reps = int(1 + (8<<20)/(raw+1))
+	}
+	if reps > 50 {
+		reps = 50
+	}
+	var dst []byte
+	for k := 1; k <= layers; k++ {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, cont := range containers {
+				var err error
+				dst, _, err = codec.DecodeLayered(dst[:0], cont, k)
+				if err != nil {
+					return LayeredCandidate{}, fmt.Errorf("selector: %s layered level %d: %w", name, k, err)
+				}
+			}
+		}
+		per := time.Since(start) / time.Duration(reps*len(containers))
+		lc.Points = append(lc.Points, FidelityPoint{
+			Level:             k,
+			BytesFrac:         float64(prefix[k-1]) / float64(full),
+			DecompressPerFile: per,
+		})
+	}
+	return lc, nil
+}
+
+// EvaluateFidelity applies the Eq. 1/2 constraint at every level of the
+// curve: level k's fetch moves BytesFrac of the container, so its
+// effective ratio — and with it the I/O slack Eq. 3 prices — grows as
+// the level drops, while its decode cost shrinks (fewer planes to XOR).
+// A level is feasible when its decode fits the budget its own effective
+// ratio earns.
+func EvaluateFidelity(app AppProfile, perf IOPerf, lc LayeredCandidate) LayeredCandidate {
+	out := lc
+	out.Points = make([]FidelityPoint, len(lc.Points))
+	for i, p := range lc.Points {
+		p.PerFileBudget = PerFileBudget(app, perf, lc.EffectiveRatio(p))
+		p.Feasible = p.DecompressPerFile < p.PerFileBudget
+		out.Points[i] = p
+	}
+	return out
+}
+
+// SelectFidelity picks the warmup layer budget: the lowest feasible
+// level — the one moving the fewest bytes while its decode still hides
+// in the I/O savings. ok is false when no level is feasible (the
+// candidate should then not run layered at all).
+func SelectFidelity(app AppProfile, perf IOPerf, lc LayeredCandidate) (best FidelityPoint, ok bool) {
+	ev := EvaluateFidelity(app, perf, lc)
+	for _, p := range ev.Points {
+		if p.Feasible {
+			return p, true
+		}
+	}
+	return FidelityPoint{}, false
+}

@@ -1,0 +1,82 @@
+package selector
+
+import (
+	"testing"
+	"time"
+
+	"fanstore/internal/dataset"
+)
+
+func layeredSamples(t testing.TB, n, size int) [][]byte {
+	t.Helper()
+	g := dataset.Generator{Kind: dataset.EM, Seed: 9, Size: size}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.File(i, n).Data
+	}
+	return out
+}
+
+// TestMeasureLayeredCurve checks the fidelity curve's shape invariants:
+// BytesFrac is strictly increasing in level and ends at 1.0 (the full
+// container), the effective ratio is monotonically non-increasing, and
+// every level decodes.
+func TestMeasureLayeredCurve(t *testing.T) {
+	lc, err := MeasureLayered("lz4", 4, layeredSamples(t, 6, 32<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Layers != 4 || len(lc.Points) != 4 {
+		t.Fatalf("curve has %d points for %d layers", len(lc.Points), lc.Layers)
+	}
+	prev := 0.0
+	for _, p := range lc.Points {
+		if p.BytesFrac <= prev {
+			t.Fatalf("level %d BytesFrac %.3f not increasing past %.3f", p.Level, p.BytesFrac, prev)
+		}
+		prev = p.BytesFrac
+	}
+	last := lc.Points[len(lc.Points)-1]
+	if last.BytesFrac != 1.0 {
+		t.Fatalf("full level moves %.3f of the container, want 1.0", last.BytesFrac)
+	}
+	if base := lc.Points[0]; base.BytesFrac > 0.5 {
+		t.Fatalf("base layer moves %.1f%% of the container, want a real saving", 100*base.BytesFrac)
+	}
+	if eff := lc.EffectiveRatio(lc.Points[0]); eff < lc.Ratio {
+		t.Fatalf("base effective ratio %.2f below full ratio %.2f", eff, lc.Ratio)
+	}
+	if lc.EffectiveRatio(last) != lc.Ratio {
+		t.Fatalf("full-level effective ratio %.2f != container ratio %.2f", lc.EffectiveRatio(last), lc.Ratio)
+	}
+}
+
+// TestEvaluateFidelityBudgets checks the Eq. 1/2 coupling: a lower level
+// earns at least the budget of a higher one (more wire saving, more
+// slack), and an app with no slack at all finds nothing feasible.
+func TestEvaluateFidelityBudgets(t *testing.T) {
+	lc, err := MeasureLayered("lz4", 3, layeredSamples(t, 4, 16<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := AppProfile{Name: "sim", IO: Sync, TIter: time.Second, CBatch: 64, SBatchMB: 64, Parallelism: 4}
+	perf := IOPerf{TptRead: 5000, BdwRead: 500}
+	ev := EvaluateFidelity(app, perf, lc)
+	for i := 1; i < len(ev.Points); i++ {
+		if ev.Points[i-1].PerFileBudget < ev.Points[i].PerFileBudget {
+			t.Fatalf("level %d budget %v below level %d budget %v",
+				ev.Points[i-1].Level, ev.Points[i-1].PerFileBudget,
+				ev.Points[i].Level, ev.Points[i].PerFileBudget)
+		}
+	}
+	if pt, ok := SelectFidelity(app, perf, lc); !ok {
+		t.Fatalf("no feasible level on a generous profile")
+	} else if pt.Level != 1 {
+		t.Fatalf("selected level %d, want the base layer", pt.Level)
+	}
+	// Async with zero iteration time: no slack anywhere on the curve.
+	starved := AppProfile{Name: "sim", IO: Async, TIter: 0, CBatch: 64, SBatchMB: 64, Parallelism: 4}
+	if _, ok := SelectFidelity(starved, perf, lc); ok {
+		t.Fatalf("starved profile selected a layered level")
+	}
+}

@@ -406,3 +406,87 @@ func (c Config) TraceEpochsChaos(epochs, dataSize int, cc ChaosConfig, obs SimOb
 	now += shrunk.traceEpochsFrom(now, epochs-cc.KillEpoch-1, dataSize, obs)
 	return now
 }
+
+// FidelitySim parameterizes TraceEpochsFidelity: a progressive-compression
+// warmup where the first BaseEpochs epochs fetch only the layered
+// container's base prefix.
+type FidelitySim struct {
+	// BaseEpochs is the number of leading epochs run at the base-layer
+	// budget (0 disables the schedule; the replay degenerates to
+	// TraceEpochs).
+	BaseEpochs int
+	// BaseFrac is the fraction of the full container a base-budget fetch
+	// moves — the measured BytesFrac of the selector's fidelity curve
+	// (default 1/3, the bit-plane split's typical base share).
+	BaseFrac float64
+	// Level is the layer budget during the base epochs and Layers the
+	// container's total layer count; they only feed the fidelity-level
+	// histogram (defaults 1 and 4).
+	Level, Layers int
+}
+
+// TraceEpochsFidelity replays a fidelity-scheduled run: the first
+// BaseEpochs epochs read the base prefix only — the device, fabric, and
+// decode terms all scale by BaseFrac, which is exactly the
+// bandwidth-proportional promise — and later epochs run at full
+// fidelity. It emits the live store's progressive-compression
+// instruments ("fanstore.fetch.bytes.saved" for the remote prefix bytes
+// never moved, "fanstore.fidelity.level" observing each iteration's
+// layer budget as that many microseconds) alongside the usual epoch and
+// iteration instruments, so the cluster report renders a simulated
+// fidelity schedule exactly like a real one. Upgrades are not priced
+// separately: the model re-fetches every epoch, so the first
+// full-fidelity epoch already pays the whole container.
+func (c Config) TraceEpochsFidelity(epochs, dataSize int, fs FidelitySim, obs SimObserver) time.Duration {
+	baseEpochs := fs.BaseEpochs
+	if baseEpochs > epochs {
+		baseEpochs = epochs
+	}
+	if baseEpochs <= 0 {
+		return c.TraceEpochs(epochs, dataSize, obs)
+	}
+	frac := fs.BaseFrac
+	if frac <= 0 || frac > 1 {
+		frac = 1.0 / 3
+	}
+	level := fs.Level
+	if level <= 0 {
+		level = 1
+	}
+	layers := fs.Layers
+	if layers < level {
+		layers = level
+	}
+	if layers < 2 {
+		layers = 4
+	}
+	// A base-budget read moves frac of the compressed bytes and decodes
+	// frac of the planes: scale both through the ratio and decode knobs.
+	scaled := c
+	scaled.Ratio = c.ratio() / frac
+	scaled.DecompressPerFile = time.Duration(float64(c.DecompressPerFile) * frac)
+
+	iters := NumIters(1, dataSize, c.App.CBatch*c.Nodes)
+	compSize := int64(float64(c.App.FileSizeBytes()) / c.ratio())
+	remoteFiles := c.RemoteFrac * float64(c.App.CBatch) * float64(iters)
+	savedPerEpoch := int64(remoteFiles * float64(compSize) * (1 - frac))
+
+	saved := obs.Metrics.Counter("fanstore.fetch.bytes.saved")
+	fidHist := obs.Metrics.Histogram("fanstore.fidelity.level")
+
+	var now time.Duration
+	for e := 0; e < epochs; e++ {
+		cfg, lvl := c, layers
+		if e < baseEpochs {
+			cfg, lvl = scaled, level
+		}
+		now += cfg.traceEpochsFrom(now, 1, dataSize, obs)
+		if e < baseEpochs {
+			saved.Add(savedPerEpoch)
+		}
+		for i := 0; i < iters; i++ {
+			fidHist.Observe(time.Duration(lvl) * time.Microsecond)
+		}
+	}
+	return now
+}

@@ -284,3 +284,63 @@ func TestTraceEpochsChaosKillsRank(t *testing.T) {
 		t.Fatalf("disabled chaos ran %v, want %v", plain, want)
 	}
 }
+
+func TestTraceEpochsFidelitySchedule(t *testing.T) {
+	cfg := simConfig()
+	cfg.RemoteFrac = float64(cfg.Nodes-1) / float64(cfg.Nodes)
+	cfg.Ratio = 2
+	cfg.DecompressPerFile = time.Millisecond
+	// Make the pipeline network-bound so the base epochs' byte saving
+	// actually shortens the epoch instead of hiding behind compute.
+	cfg.App.TIter = time.Millisecond
+	if cfg.IOTime() <= cfg.ComputeTime() {
+		t.Fatalf("profile not I/O bound: io=%v compute=%v", cfg.IOTime(), cfg.ComputeTime())
+	}
+	const epochs, dataSize = 6, 4000
+	fs := FidelitySim{BaseEpochs: 4, BaseFrac: 1.0 / 3, Level: 1, Layers: 4}
+
+	reg := metrics.NewRegistry()
+	total := cfg.TraceEpochsFidelity(epochs, dataSize, fs, SimObserver{Metrics: reg})
+
+	// The schedule beats the full-fidelity baseline, and the total is
+	// exactly base epochs at the scaled config plus full epochs.
+	baseline := cfg.TraceEpochs(epochs, dataSize, SimObserver{})
+	if total >= baseline {
+		t.Fatalf("scheduled run %v not faster than full-fidelity %v", total, baseline)
+	}
+	scaled := cfg
+	scaled.Ratio = cfg.Ratio * 3
+	scaled.DecompressPerFile = cfg.DecompressPerFile / 3
+	want := scaled.TrainTime(fs.BaseEpochs, dataSize) + cfg.TrainTime(epochs-fs.BaseEpochs, dataSize)
+	if total != want {
+		t.Fatalf("scheduled run %v, want %v (4 base + 2 full epochs)", total, want)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["trainsim.epochs"]; got != epochs {
+		t.Fatalf("epochs counter = %d, want %d", got, epochs)
+	}
+	// Bytes saved: the remote fraction of every base epoch's compressed
+	// bytes, times the 2/3 of the container a base fetch never moves.
+	iters := NumIters(1, dataSize, cfg.App.CBatch*cfg.Nodes)
+	compSize := int64(float64(cfg.App.FileSizeBytes()) / cfg.Ratio)
+	perEpoch := int64(cfg.RemoteFrac * float64(cfg.App.CBatch) * float64(iters) * float64(compSize) * (2.0 / 3))
+	if got, want := snap.Counters["fanstore.fetch.bytes.saved"], int64(fs.BaseEpochs)*perEpoch; got != want {
+		t.Fatalf("bytes saved = %d, want %d", got, want)
+	}
+	// The fidelity histogram's mean recovers the schedule: 4 epochs at
+	// level 1 and 2 at level 4 average to 2.
+	h := snap.Histograms["fanstore.fidelity.level"]
+	if h.Count != int64(epochs*iters) {
+		t.Fatalf("fidelity observations = %d, want %d", h.Count, epochs*iters)
+	}
+	if mean := float64(h.Sum) / float64(h.Count); mean != 2.0 {
+		t.Fatalf("mean fidelity level = %.2f, want 2.00", mean)
+	}
+
+	// A zero schedule degenerates to the plain replay, and nil sinks are
+	// safe.
+	if plain := cfg.TraceEpochsFidelity(epochs, dataSize, FidelitySim{}, SimObserver{}); plain != baseline {
+		t.Fatalf("disabled schedule ran %v, want %v", plain, baseline)
+	}
+}
