@@ -29,7 +29,7 @@ test:
 # concurrently. internal/ec rides along with the fault-path tests that
 # call into it from concurrent degraded reads.
 race:
-	$(GO) test -race ./internal/ec/... ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/member/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/... ./internal/obs/...
+	$(GO) test -race ./internal/ec/... ./internal/fanstore/... ./internal/rpc/... ./internal/mpi/... ./internal/member/... ./internal/decomp/... ./internal/prefetch/... ./internal/trainsim/... ./internal/trace/... ./internal/metrics/... ./internal/obs/... ./internal/tune/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 200x ./internal/fanstore/... ./internal/codec/...
@@ -42,6 +42,6 @@ benchsmoke:
 # The benchsmoke sweep with allocation counts, rendered to a JSON
 # trajectory file (ns/op + allocs/op per benchmark) via cmd/benchjson.
 # Override BENCH_OUT to land the trajectory elsewhere.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)

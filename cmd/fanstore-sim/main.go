@@ -92,6 +92,8 @@ func main() {
 		pace     = flag.Duration("pace", 0, "wall-clock pause per simulated epoch in -monitor, so the ops endpoints can be curled mid-run (0: full speed)")
 		fidSched = flag.String("fidelity", "", "fidelity schedule for the epoch replay, \"level@epochs[,...]\" (e.g. '1@2'): the leading epochs fetch only that many layers of the layered container")
 		layersN  = flag.Int("layers", 4, "layer count of the layered container priced by -fidelity")
+		tuneOn   = flag.Bool("tune", false, "replay the autotuning ablation: each rank starts mis-tuned and the online controller hill-climbs the live knobs against the simulated signals")
+		tuneProf = flag.String("tune-profile", "cpu", "mis-tune profile for -tune: cpu (decode-bound, 1 decode worker) or net (fetch-bound, 4-item batches)")
 	)
 	flag.Parse()
 
@@ -211,7 +213,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	if *traceOut == "" && !*report && !*monitor && *fidSched == "" {
+	if *traceOut == "" && !*report && !*monitor && *fidSched == "" && !*tuneOn {
 		return
 	}
 	// Epoch replay: run the case's configuration through the per-rank
@@ -282,9 +284,36 @@ func main() {
 			KillRank: *killRank, KillEpoch: *killAt, K: red.K, M: red.M,
 		}
 	}
+	var tuneSim trainsim.TuneSim
+	tuneCfg := cfg
+	if *tuneOn {
+		switch strings.ToLower(*tuneProf) {
+		case "cpu":
+			// Decode-bound mis-tune: serial decode on a multi-core box,
+			// cheap fabric. The controller must grow decode.workers.
+			tuneSim = trainsim.TuneSim{
+				Cores: 8, RTT: 200 * time.Microsecond, BurstPerItem: time.Microsecond,
+				DecodeWorkers: 1, BatchItems: 64,
+			}
+		case "net":
+			// Fetch-bound mis-tune: long round trips, 4-item batches, and
+			// a cheap codec (the measured one would re-bind the run on
+			// decode). The controller must grow batch.items to amortize
+			// the RTT.
+			tuneCfg.DecompressPerFile = 10 * time.Microsecond
+			tuneSim = trainsim.TuneSim{
+				Cores: 8, RTT: 2 * time.Millisecond, BurstPerItem: 20 * time.Microsecond,
+				DecodeWorkers: 8, BatchItems: 4,
+			}
+		default:
+			log.Fatalf("unknown -tune-profile %q (want cpu or net)", *tuneProf)
+		}
+	}
 	tracers := make([]*trace.Tracer, n)
 	snaps := make([]metrics.RegistrySnapshot, n)
 	var elapsed time.Duration
+	var tuneRes trainsim.TunedResult
+	tuneEvents := obs.NewEventLog(0, 0)
 	for rank := 0; rank < n; rank++ {
 		tracers[rank] = trace.NewSynthetic(rank, 0)
 		reg := metrics.NewRegistry()
@@ -293,7 +322,17 @@ func main() {
 			obs.Skew = *skew
 		}
 		var t time.Duration
-		if chaos {
+		if *tuneOn {
+			ts := tuneSim
+			if rank == 0 {
+				ts.Controller.Events = tuneEvents
+			}
+			res := tuneCfg.TraceEpochsTuned(*simEpoch, *simFiles, ts, obs)
+			t = res.Wall
+			if rank == 0 {
+				tuneRes = res
+			}
+		} else if chaos {
 			rcc := cc
 			rcc.Rank = rank
 			t = cfg.TraceEpochsChaos(*simEpoch, *simFiles, rcc, obs)
@@ -311,6 +350,31 @@ func main() {
 			elapsed = t
 		}
 		snaps[rank] = reg.Snapshot()
+	}
+	if *tuneOn {
+		// The ablation, from rank 0's run: mis-tuned static knobs vs the
+		// online controller vs the grid-swept hand-tuned oracle.
+		fmt.Printf("tune ablation (%s profile): static %v | tuned %v | hand-tuned %v\n",
+			strings.ToLower(*tuneProf),
+			tuneRes.StaticWall.Round(time.Millisecond),
+			tuneRes.Wall.Round(time.Millisecond),
+			tuneRes.BestWall.Round(time.Millisecond))
+		fmt.Printf("tune convergence: final epoch %v vs oracle %v (%.1f%% off; oracle knobs workers=%d batch=%d)\n",
+			tuneRes.FinalEpoch.Round(time.Millisecond), tuneRes.BestEpoch.Round(time.Millisecond),
+			100*(float64(tuneRes.FinalEpoch)/float64(tuneRes.BestEpoch)-1),
+			tuneRes.BestWorkers, tuneRes.BestBatch)
+		fmt.Printf("tune decisions: %d moves, %d reverts; knob trace (workers/batch per epoch):\n", tuneRes.Moves, tuneRes.Reverts)
+		for e := range tuneRes.WorkersTrace {
+			fmt.Printf("  epoch %2d: workers=%-3d batch=%-4d epoch time %v\n",
+				e, tuneRes.WorkersTrace[e], tuneRes.BatchTrace[e],
+				tuneRes.EpochDurs[e].Round(time.Millisecond))
+		}
+		if evs := tuneEvents.Events(); len(evs) > 0 {
+			fmt.Printf("tune event log (rank 0):\n")
+			for _, e := range evs {
+				fmt.Printf("  [%s] %s\n", e.Kind, e.Msg)
+			}
+		}
 	}
 	if fsim.BaseEpochs > 0 {
 		// The ablation, on an unskewed rank: the scheduled run against the

@@ -1,0 +1,181 @@
+package decomp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fanstore/internal/codec"
+)
+
+// TestResizeGrowShrink checks the basic contract: Resize reports and
+// installs the new count, floors at 1, and a closed pool refuses to grow.
+func TestResizeGrowShrink(t *testing.T) {
+	p := New(2, nil)
+	if got := p.Resize(8); got != 8 || p.Workers() != 8 {
+		t.Fatalf("Resize(8) = %d, Workers() = %d, want 8", got, p.Workers())
+	}
+	if got := p.Resize(3); got != 3 || p.Workers() != 3 {
+		t.Fatalf("Resize(3) = %d, Workers() = %d, want 3", got, p.Workers())
+	}
+	if got := p.Resize(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resize(-1) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := p.Resize(1); got != 1 {
+		t.Fatalf("Resize(1) = %d, want 1", got)
+	}
+	p.Close()
+	if got := p.Resize(4); got != 1 {
+		t.Fatalf("Resize after Close = %d, want unchanged 1", got)
+	}
+	var np *Pool
+	if got := np.Resize(4); got != 0 {
+		t.Fatalf("nil pool Resize = %d, want 0", got)
+	}
+}
+
+// TestResizeDownKeepsQueuedBatch is the deterministic half of the storm
+// test: all four workers are wedged on in-flight jobs, a 64-item
+// prefetch batch is queued behind them, and the pool is shrunk to one
+// worker mid-flight. Every queued job must still execute, the pool must
+// settle at exactly one worker goroutine (no leak), and a demand open
+// queued after the batch must still jump it (priorities preserved).
+func TestResizeDownKeepsQueuedBatch(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := New(4, nil)
+
+	// Wedge every worker on a gate so the batch genuinely queues.
+	gate := make(chan struct{})
+	var ready sync.WaitGroup
+	ready.Add(4)
+	for i := 0; i < 4; i++ {
+		p.Submit(PriOpen, nil, func(*codec.Scratch) {
+			ready.Done()
+			<-gate
+		})
+	}
+	ready.Wait()
+
+	// Queue a 64-item prefetch batch from a producer goroutine (the
+	// bounded queue will block it once full — that's the point).
+	const batch = 64
+	var done atomic.Int64
+	var batchWG sync.WaitGroup
+	batchWG.Add(batch)
+	go func() {
+		for i := 0; i < batch; i++ {
+			p.Submit(PriPrefetch, &batchWG, func(*codec.Scratch) {
+				done.Add(1)
+			})
+		}
+	}()
+	// And one demand open behind the batch: it must run before the
+	// prefetch backlog drains (the survivor's high-priority pre-select).
+	var openAt, lowAt atomic.Int64
+	var seq atomic.Int64
+	var openWG sync.WaitGroup
+	openWG.Add(1)
+	p.Submit(PriOpen, &openWG, func(*codec.Scratch) {
+		openAt.Store(seq.Add(1))
+	})
+
+	// Shrink while everything is wedged. Resize blocks until the excess
+	// workers retire, so it must run concurrently with opening the gate.
+	resized := make(chan int, 1)
+	go func() { resized <- p.Resize(1) }()
+	time.Sleep(10 * time.Millisecond) // let Resize reach the retire send
+	close(gate)
+
+	if got := <-resized; got != 1 {
+		t.Fatalf("Resize(1) = %d, want 1", got)
+	}
+	openWG.Wait()
+	// Record where the low-priority tail lands relative to the open.
+	var tailWG sync.WaitGroup
+	tailWG.Add(1)
+	p.Submit(PriPrefetch, &tailWG, func(*codec.Scratch) {
+		lowAt.Store(seq.Add(1))
+	})
+	tailWG.Wait()
+	batchWG.Wait()
+	if done.Load() != batch {
+		t.Fatalf("lost jobs: %d of %d prefetch jobs ran", done.Load(), batch)
+	}
+	if openAt.Load() == 0 || lowAt.Load() == 0 || openAt.Load() > lowAt.Load() {
+		t.Fatalf("priority inversion: open ran at %d, tail prefetch at %d",
+			openAt.Load(), lowAt.Load())
+	}
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("Workers() after shrink = %d, want 1", got)
+	}
+	// No worker leak: retired goroutines must actually exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base+1 {
+		t.Fatalf("worker leak: %d goroutines, started with %d (pool should hold 1)", g, base)
+	}
+	p.Close()
+}
+
+// TestResizeStorm hammers Resize from one goroutine while four producers
+// push 64-item batches through both priority classes — run under -race
+// this is the memory-model check on the retire handshake. Every
+// submitted job must complete (each producer waits on its batch), and
+// the pool must end at the final resize target with no stuck workers.
+func TestResizeStorm(t *testing.T) {
+	p := New(8, nil)
+	defer p.Close()
+
+	stop := make(chan struct{})
+	var produced atomic.Int64
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		pri := PriPrefetch
+		if g%2 == 0 {
+			pri = PriOpen
+		}
+		go func(pri Priority) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var batchWG sync.WaitGroup
+				batchWG.Add(64)
+				for i := 0; i < 64; i++ {
+					produced.Add(1)
+					p.Submit(pri, &batchWG, func(*codec.Scratch) {
+						executed.Add(1)
+					})
+				}
+				batchWG.Wait()
+			}
+		}(pri)
+	}
+
+	sizes := []int{1, 16, 2, 32, 1, 8, 4, 24, 1, 6}
+	for i := 0; i < 5; i++ {
+		for _, n := range sizes {
+			if got := p.Resize(n); got != n {
+				t.Fatalf("Resize(%d) = %d", n, got)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if produced.Load() != executed.Load() {
+		t.Fatalf("lost jobs under resize storm: produced %d, executed %d",
+			produced.Load(), executed.Load())
+	}
+	if got := p.Resize(6); got != 6 || p.Workers() != 6 {
+		t.Fatalf("final Resize(6) = %d, Workers() = %d", got, p.Workers())
+	}
+}

@@ -206,6 +206,24 @@ func (r *ClusterReport) Render(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%s\n", line)
 	}
+	// Autotuned runs only: what the controller did and where the knobs
+	// landed. Knob gauges merge by Max, so a knob line shows the highest
+	// value any rank settled on — ranks tune independently, and the
+	// per-rank /statusz endpoints carry the exact local values.
+	if moves, reverts := r.counterTotal("tune.moves"), r.counterTotal("tune.reverts"); moves > 0 || reverts > 0 {
+		line := fmt.Sprintf("tune: moves=%d reverts=%d", moves, reverts)
+		var knobs []string
+		for name, g := range r.Merged.Gauges {
+			if strings.HasPrefix(name, "tune.knob.") {
+				knobs = append(knobs, fmt.Sprintf("%s=%d", strings.TrimPrefix(name, "tune.knob."), g.Max))
+			}
+		}
+		sort.Strings(knobs)
+		if len(knobs) > 0 {
+			line += "  " + strings.Join(knobs, " ")
+		}
+		fmt.Fprintf(w, "%s\n", line)
+	}
 	var spread []string
 	for rank, s := range r.PerRank {
 		spread = append(spread, fmt.Sprintf("r%d=%v", rank, s.Histograms[r.Options.StragglerMetric].P99))

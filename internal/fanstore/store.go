@@ -157,19 +157,35 @@ func (e *vanishedError) Is(target error) bool {
 func (e *vanishedError) Unwrap() error { return e.err }
 
 // Options configures a Node.
+//
+// Knob lifetimes: some fields are live-tunable after Mount — the online
+// autotuner (internal/tune, the -tune flag) moves them through atomics
+// while training runs — and the rest are mount-only. Live-tunable:
+// DecodeWorkers (Node.SetDecodeWorkers), BatchItems (Node.SetBatchItems),
+// the admission budget (Node.SetAdmissionBytes, read live by the plan
+// scheduler), and the fidelity level (Node.SetFidelity). Mount-only:
+// CacheBytes and CacheShards stay fixed for the node's lifetime —
+// resizing or restriping the sharded cache would require a stop-the-
+// world rehash of every resident entry, which no mid-epoch gain
+// justifies — along with the backend, redundancy, and transport fields.
 type Options struct {
 	// CacheBytes bounds the decompressed data cache (default 256 MiB).
+	// Mount-only: the cache never resizes live (see the knob-lifetimes
+	// note above).
 	CacheBytes int64
 	// CachePolicy selects the replacement policy (default FIFO).
 	CachePolicy Policy
 	// CacheShards overrides the decompressed cache's stripe count,
 	// rounded up to a power of two (0: automatic — sized to GOMAXPROCS,
 	// reduced for small capacities). 1 reproduces the old single-lock
-	// cache for comparison benchmarks.
+	// cache for comparison benchmarks. Mount-only: restriping live
+	// would rehash every resident entry (see the knob-lifetimes note).
 	CacheShards int
 	// DecodeWorkers bounds the shared decode pool that demand opens and
 	// the look-ahead prefetcher decompress through (default GOMAXPROCS).
 	// 1 reproduces serial decode for comparison benchmarks.
+	// Live-tunable: Node.SetDecodeWorkers resizes the pool without
+	// dropping queued jobs.
 	DecodeWorkers int
 	// Replicas are extra partition blobs this node serves locally
 	// without owning them (typically obtained via RingReplicate when the
@@ -202,7 +218,8 @@ type Options struct {
 	// BatchItems bounds the objects carried by one FetchMany round trip;
 	// larger prefetch groups are split into plan-sized calls so a whole-
 	// epoch window cannot build one monster frame (default
-	// rpc.DefaultBatchItems).
+	// rpc.DefaultBatchItems). Live-tunable: Node.SetBatchItems takes
+	// effect on the next prefetch split, mid-plan.
 	BatchItems int
 	// DisableCoalescing turns off the singleflight sharing of concurrent
 	// fetch+decode work for the same path, reproducing the duplicate-
@@ -360,7 +377,13 @@ type Node struct {
 	inflightMu sync.Mutex
 	inflight   map[string]*flight
 	noCoalesce bool
-	batchItems int // max objects per FetchMany call
+	// batchItems is the max objects per FetchMany call — atomic because
+	// the autotuner retunes it mid-plan (SetBatchItems) while the
+	// prefetch path reads it per split.
+	batchItems atomic.Int64
+	// admission is the live staged-bytes budget the plan scheduler reads
+	// through AdmissionBytes each admission decision (0: cache headroom).
+	admission atomic.Int64
 
 	server *rpc.Server // answers peers' fetch requests (tagFetch)
 	client *rpc.Client // issues fetch requests to peers
@@ -380,6 +403,11 @@ type Node struct {
 	reg    *metrics.Registry
 	tracer *trace.Tracer
 	events *obs.EventLog // nil unless the ops plane is enabled
+
+	// statusExtra holds extra /statusz section renderers registered via
+	// AddStatus (the -tune controller's section rides here).
+	statusMu    sync.Mutex
+	statusExtra []func(*obs.StatusWriter)
 
 	localOpens, remoteOpens, zeroCopyOpens *metrics.Counter
 	decompresses, failovers                *metrics.Counter
@@ -487,11 +515,11 @@ func newNode(comm *mpi.Comm, view *member.View, selfID member.NodeID, elastic bo
 		parts:      make(map[uint64]*nodePart),
 		inflight:   make(map[string]*flight),
 		noCoalesce: opts.DisableCoalescing,
-		batchItems: batchItems,
 		reg:        reg,
 		tracer:     opts.Tracer,
 		events:     opts.Events,
 	}
+	n.batchItems.Store(int64(batchItems))
 	if opts.Redundancy.Mode == RedundancyEC {
 		if !elastic {
 			return nil, fmt.Errorf("fanstore: ec redundancy requires an elastic mount (static mounts replicate)")
@@ -1408,7 +1436,9 @@ func (n *Node) prefetchFrom(dst int, group []*prefetchTarget, level uint8) (stag
 		keys[i] = t.m.Path
 	}
 	off := 0
-	for _, chunk := range rpc.SplitKeys(keys, n.batchItems) {
+	// The split size is read live: a mid-plan SetBatchItems (the
+	// autotuner's fetch-shape knob) reshapes the very next call.
+	for _, chunk := range rpc.SplitKeys(keys, n.BatchItems()) {
 		ok, f := n.prefetchChunk(dst, chunk, group[off:off+len(chunk)], level)
 		off += len(chunk)
 		staged += ok

@@ -291,6 +291,47 @@ func (s *Sampler) Levels() map[string]metrics.GaugeValue {
 	return out
 }
 
+// WindowSnapshot merges one named histogram's deltas across the
+// lookback (all retained history when <= 0) into a single windowed
+// snapshot — the single-instrument sibling of WindowQuantiles for
+// callers that poll on a hot path: it returns by value and allocates
+// nothing, so a periodic controller can read windowed p99s every tick.
+// The second result reports whether any window covered the histogram.
+func (s *Sampler) WindowSnapshot(hist string, lookback time.Duration) (metrics.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out metrics.Snapshot
+	found := false
+	for i := range s.ring {
+		w := &s.ring[i]
+		if lookback > 0 && w.End.Before(s.prevAt.Add(-lookback)) {
+			continue
+		}
+		if v, ok := w.Delta.Histograms[hist]; ok {
+			out = out.Merge(v)
+			found = true
+		}
+	}
+	return out, found
+}
+
+// Level returns one gauge's level from the most recent window — the
+// single-instrument, allocation-free sibling of Levels. The second
+// result reports whether the latest window covered the gauge.
+func (s *Sampler) Level(gauge string) (metrics.GaugeValue, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return metrics.GaugeValue{}, false
+	}
+	last := s.next - 1
+	if last < 0 {
+		last = len(s.ring) - 1
+	}
+	v, ok := s.ring[last].Delta.Gauges[gauge]
+	return v, ok
+}
+
 // WindowQuantiles merges the histogram deltas across the lookback and
 // returns one windowed snapshot per histogram — p50/p99 over the
 // recent past instead of since process start.

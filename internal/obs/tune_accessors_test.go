@@ -1,0 +1,104 @@
+package obs
+
+// Tests for the single-instrument sampler accessors the tune
+// controller ticks through: WindowSnapshot (windowed histogram fold)
+// and Level (latest gauge reading). Both must return by value and stay
+// allocation-free once the ring has wrapped — the controller's
+// steady-state tick gates on that.
+
+import (
+	"testing"
+	"time"
+
+	"fanstore/internal/metrics"
+)
+
+func TestWindowSnapshotFoldsAndLooksBack(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("lat")
+	s := NewSampler(reg, SamplerOptions{Interval: time.Second, Windows: 8})
+	clk := newSampleClock(time.Second)
+
+	if _, ok := s.WindowSnapshot("lat", 0); ok {
+		t.Fatalf("snapshot found before any window retained")
+	}
+	s.Sample(clk.tick()) // prime
+
+	// Window 1: one fast observation. Window 2: two slow ones.
+	h.Observe(time.Millisecond)
+	s.Sample(clk.tick())
+	h.Observe(time.Second)
+	h.Observe(time.Second)
+	s.Sample(clk.tick())
+
+	all, ok := s.WindowSnapshot("lat", 0)
+	if !ok || all.Count != 3 {
+		t.Fatalf("full-history fold: count=%d ok=%v, want 3/true", all.Count, ok)
+	}
+	if all.P99 < 500*time.Millisecond {
+		t.Fatalf("full-history p99 %v should see the slow window", all.P99)
+	}
+
+	// A half-interval lookback isolates the freshest window — exactly
+	// the controller's view.
+	last, ok := s.WindowSnapshot("lat", 500*time.Millisecond)
+	if !ok || last.Count != 2 {
+		t.Fatalf("lookback fold: count=%d ok=%v, want 2/true", last.Count, ok)
+	}
+	if last.P99 < 500*time.Millisecond {
+		t.Fatalf("lookback p99 %v, want the slow window only", last.P99)
+	}
+
+	if _, ok := s.WindowSnapshot("absent", 0); ok {
+		t.Fatalf("snapshot of an unknown histogram reported ok")
+	}
+}
+
+func TestLevelReadsLatestWindow(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.Gauge("depth")
+	s := NewSampler(reg, SamplerOptions{Interval: time.Second, Windows: 4})
+	clk := newSampleClock(time.Second)
+
+	if _, ok := s.Level("depth"); ok {
+		t.Fatalf("level found before any window retained")
+	}
+	s.Sample(clk.tick())
+	g.Set(7)
+	s.Sample(clk.tick())
+	if v, ok := s.Level("depth"); !ok || v.Value != 7 {
+		t.Fatalf("level = %+v/%v, want Value 7", v, ok)
+	}
+	g.Set(3)
+	s.Sample(clk.tick())
+	if v, ok := s.Level("depth"); !ok || v.Value != 3 {
+		t.Fatalf("level after update = %+v/%v, want Value 3", v, ok)
+	}
+	if _, ok := s.Level("absent"); ok {
+		t.Fatalf("level of an unknown gauge reported ok")
+	}
+}
+
+func TestWindowAccessorsZeroAlloc(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("lat")
+	g := reg.Gauge("depth")
+	s := NewSampler(reg, SamplerOptions{Interval: time.Second, Windows: 4})
+	clk := newSampleClock(time.Second)
+	for i := 0; i < 8; i++ {
+		h.Observe(time.Millisecond)
+		g.Set(int64(i))
+		s.Sample(clk.tick())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := s.WindowSnapshot("lat", 500*time.Millisecond); !ok {
+			t.Fatalf("snapshot lost mid-run")
+		}
+		if _, ok := s.Level("depth"); !ok {
+			t.Fatalf("level lost mid-run")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("window accessors allocate %v times per run, want 0", allocs)
+	}
+}

@@ -146,8 +146,17 @@ type SchedOptions struct {
 	BatchFiles int
 	// AdmissionBytes overrides the staged-bytes budget. 0 means the
 	// live cache headroom (capacity minus pinned bytes), re-read before
-	// every batch so the budget tracks open-file pressure.
+	// every batch so the budget tracks open-file pressure. Live-tunable
+	// after construction via SetAdmissionBytes (or AdmissionSource).
 	AdmissionBytes int64
+	// AdmissionSource, when set, supersedes AdmissionBytes: it is called
+	// before every budget decision, so an external live knob (the
+	// autotuner's admission budget on fanstore.Node) takes effect
+	// mid-plan — including for a batch already parked in the admission
+	// wait, which re-reads it on every poll. Same semantics as
+	// AdmissionBytes: a returned 0 means live cache headroom. Must be
+	// safe for concurrent use.
+	AdmissionSource func() int64
 	// Poll is how often the admission wait re-checks cache pressure
 	// when no Advance arrives (default 200µs): evictions free space
 	// without notifying the scheduler.
@@ -173,7 +182,8 @@ type Scheduler struct {
 	store    PlanStore
 	plan     *Plan
 	batch    int
-	admit    int64
+	admit    atomic.Int64 // live staged-bytes budget (0: cache headroom)
+	admitSrc func() int64 // optional live override, read per decision
 	poll     time.Duration
 	fidelity uint8
 
@@ -208,7 +218,7 @@ func NewScheduler(store PlanStore, plan *Plan, opts SchedOptions) *Scheduler {
 		store:    store,
 		plan:     plan,
 		batch:    batch,
-		admit:    opts.AdmissionBytes,
+		admitSrc: opts.AdmissionSource,
 		poll:     poll,
 		fidelity: opts.Fidelity,
 		kick:     make(chan struct{}, 1),
@@ -220,6 +230,7 @@ func NewScheduler(store PlanStore, plan *Plan, opts SchedOptions) *Scheduler {
 		waits:    opts.Metrics.Counter("prefetch.plan.admission.waits"),
 		tracer:   opts.Tracer,
 	}
+	s.admit.Store(opts.AdmissionBytes)
 	s.planned.Add(int64(len(plan.Items)))
 	s.wg.Add(1)
 	go s.run()
@@ -284,14 +295,45 @@ func (s *Scheduler) stage(paths []string) int {
 	return s.store.Prefetch(paths)
 }
 
+// admitBytes is the current admission override, re-read on every budget
+// decision: the live source if configured, else the (atomically
+// settable) constructed value. Never snapshotted — a mid-plan change
+// must steer the very next decision, including a batch already parked
+// in the admission wait.
+func (s *Scheduler) admitBytes() int64 {
+	if s.admitSrc != nil {
+		return s.admitSrc()
+	}
+	return s.admit.Load()
+}
+
+// SetAdmissionBytes replaces the staged-bytes budget mid-plan (0: live
+// cache headroom) and pings the admission wait so a parked batch
+// re-evaluates under the new budget immediately instead of on the next
+// poll. When an AdmissionSource is configured the source stays
+// authoritative and this only updates the fallback. Nil-safe.
+func (s *Scheduler) SetAdmissionBytes(v int64) {
+	if s == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s.admit.Store(v)
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
 // budget is the total ceiling for staged-but-unread bytes: the override
 // if configured, else the cache capacity not held by live readers.
 // CacheHeadroom already nets out staged bytes, so they are added back —
 // budget bounds the whole staging pool, not the next increment (the
 // batch carve clips single batches against it).
 func (s *Scheduler) budget() int64 {
-	if s.admit > 0 {
-		return s.admit
+	if admit := s.admitBytes(); admit > 0 {
+		return admit
 	}
 	return s.store.CacheHeadroom() + s.store.StagedBytes()
 }
@@ -302,8 +344,8 @@ func (s *Scheduler) budget() int64 {
 // cache's decrements, and a negative remainder must read as "no room",
 // not wrap into "infinite room".
 func (s *Scheduler) free() int64 {
-	if s.admit > 0 {
-		f := s.admit - s.store.StagedBytes()
+	if admit := s.admitBytes(); admit > 0 {
+		f := admit - s.store.StagedBytes()
 		if f < 0 {
 			return 0
 		}
